@@ -1,0 +1,159 @@
+"""Ablation — each filter stage's contribution to false-positive control.
+
+DESIGN.md calls out the went-away detector, seasonality detector, and
+cost-shift detector as FBDetect's load-bearing design choices; Table 3
+measures them jointly.  This ablation removes one stage at a time and
+measures how many false positives leak through on a corpus built to
+exercise that stage:
+
+- without went-away: transient windows flood through;
+- without seasonality: seasonal rising edges flood through;
+- without cost-shift: refactor illusions flood through.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import (
+    ANALYSIS_POINTS,
+    EXTENDED_POINTS,
+    HISTORIC_POINTS,
+    POINT_INTERVAL,
+    bench_config,
+    emit,
+)
+from repro import FBDetect, TimeSeriesDatabase
+from repro.workloads import WindowKind, generate_labeled_window
+
+N_POINTS = HISTORIC_POINTS + ANALYSIS_POINTS + EXTENDED_POINTS
+CHANGE_AT = HISTORIC_POINTS + 60
+
+
+def count_transient_reports(enable_went_away: bool, n_windows: int = 30) -> int:
+    rng = np.random.default_rng(10)
+    config = bench_config(threshold=0.000004)
+    reports = 0
+    for _ in range(n_windows):
+        window = generate_labeled_window(WindowKind.TRANSIENT, rng, noise_fraction=0.02)
+        detector = FBDetect(config, enable_went_away=enable_went_away)
+        db = TimeSeriesDatabase()
+        series = db.create("svc.sub.gcpu", {"metric": "gcpu", "subroutine": "sub"})
+        for i, value in enumerate(window.values):
+            series.append(i * POINT_INTERVAL, float(value))
+        result = detector.run(db, now=window.values.size * POINT_INTERVAL)
+        reports += bool(result.reported)
+    return reports
+
+
+def count_seasonal_reports(enable_seasonality: bool, n_windows: int = 20) -> int:
+    """Seasonal-rise FPs with/without the seasonality stage.
+
+    The went-away stage is ablated in *both* arms: on synthetic
+    stationary seasonality its historical-envelope logic subsumes the
+    seasonal FPs entirely, so the seasonality detector's marginal
+    contribution (the paper's "removes 22% of the went-away detector's
+    output") is only visible on the candidates went-away would pass —
+    exactly what disabling it exposes.
+    """
+    reports = 0
+    for seed in range(n_windows):
+        rng = np.random.default_rng(seed)
+        t = np.arange(900)
+        # Rising half-cycle in the analysis window [700, 800).
+        values = 0.001 + 0.0003 * np.sin(np.pi * (t - 750) / 100) + rng.normal(0, 0.00002, 900)
+        db = TimeSeriesDatabase()
+        series = db.create("svc.sub.gcpu", {"metric": "gcpu", "subroutine": "sub"})
+        for i, value in enumerate(values):
+            series.append(float(i), float(value))
+        from repro.config import DetectionConfig
+        from repro.tsdb import WindowSpec
+
+        config = DetectionConfig(
+            name="ablate",
+            threshold=0.000004,
+            rerun_interval=3600.0,
+            windows=WindowSpec(700.0, 100.0, 100.0),
+            long_term=False,
+            seasonality_period=200,
+        )
+        detector = FBDetect(
+            config,
+            enable_went_away=False,
+            enable_seasonality=enable_seasonality,
+        )
+        result = detector.run(db, now=900.0)
+        reports += bool(result.reported)
+    return reports
+
+
+def count_cost_shift_reports(enable_cost_shift: bool, n_pairs: int = 15) -> int:
+    reports = 0
+    config = bench_config(threshold=0.000004)
+    for seed in range(n_pairs):
+        rng = np.random.default_rng(seed + 500)
+        shifted = 0.0003
+        target = rng.normal(0.0001, 0.00002, N_POINTS)
+        target[CHANGE_AT:] += shifted
+        sibling = rng.normal(0.0007, 0.00002, N_POINTS)
+        sibling[CHANGE_AT:] -= shifted
+        db = TimeSeriesDatabase()
+        for name, values in (("target", target), ("sibling", sibling)):
+            series = db.create(
+                f"svc.ns::K::{name}.gcpu",
+                {"metric": "gcpu", "subroutine": f"ns::K::{name}", "service": "svc"},
+            )
+            for i, value in enumerate(values):
+                series.append(i * POINT_INTERVAL, float(value))
+        detector = FBDetect(config, enable_cost_shift=enable_cost_shift)
+        result = detector.run(db, now=N_POINTS * POINT_INTERVAL)
+        reports += sum(
+            1 for r in result.reported if r.context.subroutine == "ns::K::target"
+        )
+    return reports
+
+
+@pytest.fixture(scope="module")
+def ablation_counts():
+    return {
+        "went_away": (count_transient_reports(True), count_transient_reports(False)),
+        "seasonality": (count_seasonal_reports(True), count_seasonal_reports(False)),
+        "cost_shift": (count_cost_shift_reports(True), count_cost_shift_reports(False)),
+    }
+
+
+def test_ablation_went_away(ablation_counts):
+    with_filter, without_filter = ablation_counts["went_away"]
+    assert with_filter <= 0.15 * 30
+    assert without_filter >= with_filter + 10, "removing went-away must flood FPs"
+
+
+def test_ablation_seasonality(ablation_counts):
+    with_filter, without_filter = ablation_counts["seasonality"]
+    assert with_filter <= 3
+    assert without_filter >= with_filter + 10
+
+
+def test_ablation_cost_shift(ablation_counts):
+    with_filter, without_filter = ablation_counts["cost_shift"]
+    assert with_filter == 0
+    assert without_filter >= 12
+
+
+def test_ablation_report(ablation_counts):
+    rows = []
+    corpora = {"went_away": 30, "seasonality": 20, "cost_shift": 15}
+    for stage, (with_filter, without_filter) in ablation_counts.items():
+        total = corpora[stage]
+        rows.append(
+            f"{stage:12s} FPs with filter: {with_filter:2d}/{total}   "
+            f"without: {without_filter:2d}/{total}"
+        )
+    rows.append("each stage is individually load-bearing for FP control")
+    emit("Ablation — per-filter false-positive contribution", rows)
+
+
+def test_ablation_benchmark(benchmark):
+    result = benchmark.pedantic(
+        count_transient_reports, args=(True, 5), rounds=1, iterations=1
+    )
+    assert result <= 5

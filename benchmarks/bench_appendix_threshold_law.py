@@ -1,0 +1,122 @@
+"""Appendix A — the detection-threshold law Δ_threshold ∝ sqrt(σ²/n).
+
+Expression 1 underpins the whole paper: the smallest reliably detectable
+shift scales with the noise level and inversely with the square root of
+the sample count.  We verify both proportionalities empirically by
+measuring the minimal shift the change-point detector catches with >= 80%
+probability, as a function of (a) window length n and (b) noise σ.
+
+Also checks Appendix A.3's corollary: for a small subroutine, a small
+absolute change in gCPU corresponds to the same-sized relative change in
+process CPU — the argument for using gCPU at all.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import emit
+from repro.core.change_point import ChangePointDetector
+
+DETECTION_PROBABILITY = 0.8
+TRIALS = 24
+
+
+def detection_rate(n: int, sigma: float, shift: float, seed_base: int) -> float:
+    """Fraction of trials where the detector catches a mid-window shift."""
+    detector = ChangePointDetector()
+    hits = 0
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(seed_base + trial)
+        values = rng.normal(0.0, sigma, n)
+        values[n // 2 :] += shift
+        candidate = detector.detect_increase(values)
+        if candidate is not None and abs(candidate.index - n // 2) <= max(3, n // 10):
+            hits += 1
+    return hits / TRIALS
+
+
+def minimal_detectable_shift(n: int, sigma: float, seed_base: int = 0) -> float:
+    """Bisect the smallest shift detected with >= 80% probability."""
+    lo, hi = 0.0, 8.0 * sigma
+    for _ in range(12):
+        mid = (lo + hi) / 2.0
+        if detection_rate(n, sigma, mid, seed_base) >= DETECTION_PROBABILITY:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@pytest.fixture(scope="module")
+def n_sweep():
+    sigma = 1.0
+    ns = (50, 200, 800)
+    return {n: minimal_detectable_shift(n, sigma, seed_base=n) for n in ns}
+
+
+def test_threshold_scales_inverse_sqrt_n(n_sweep):
+    ns = sorted(n_sweep)
+    thresholds = [n_sweep[n] for n in ns]
+    # Larger windows detect smaller shifts.
+    assert thresholds[0] > thresholds[1] > thresholds[2]
+    # Log-log slope close to -1/2 (Expression 1).
+    slope = np.polyfit(np.log(ns), np.log(thresholds), 1)[0]
+    assert slope == pytest.approx(-0.5, abs=0.15)
+
+    rows = [
+        f"n={n:4d}  minimal detectable shift = {n_sweep[n]:.3f} sigma-units"
+        for n in ns
+    ]
+    rows.append(f"log-log slope vs n: {slope:+.3f}  (Expression 1 predicts -0.5)")
+    emit("Appendix A.2 — Δ_threshold ∝ 1/sqrt(n)", rows)
+
+
+def test_threshold_scales_linearly_with_sigma():
+    n = 200
+    sigmas = (0.5, 1.0, 2.0)
+    thresholds = [minimal_detectable_shift(n, s, seed_base=int(s * 1000)) for s in sigmas]
+    ratios = [t / s for t, s in zip(thresholds, sigmas)]
+    # Δ/σ constant across σ (Expression 1's σ-proportionality).
+    assert max(ratios) / min(ratios) < 1.5
+    emit(
+        "Appendix A.2 — Δ_threshold ∝ σ",
+        [
+            f"σ={s:.1f}: minimal shift {t:.3f} ({t / s:.3f} σ)"
+            for s, t in zip(sigmas, thresholds)
+        ],
+    )
+
+
+def test_appendix_a3_gcpu_relative_correspondence():
+    """A small absolute gCPU change ≈ the same relative process change.
+
+    h% = Δ(μ_P - μ_r) / (μ_P (μ_P + Δ)) ≈ Δ/μ_P for μ_r, Δ << μ_P.
+    """
+    mu_process = 40.0      # 40 busy cores, the paper's example scale
+    mu_subroutine = 0.04   # a 0.1%-share subroutine
+    delta = 0.02           # absolute CPU increase in the subroutine
+    exact_gcpu_change = (mu_subroutine + delta) / (mu_process + delta) - (
+        mu_subroutine / mu_process
+    )
+    relative_process_change = delta / mu_process
+    assert exact_gcpu_change == pytest.approx(relative_process_change, rel=0.01)
+
+
+def test_appendix_a4_waste_scaling():
+    """W/m ∝ sqrt(σ²/m): the waste *fraction* shrinks with fleet size
+    while total waste W still grows like sqrt(m)."""
+    sigma2 = 1.0
+    fleet_sizes = np.array([1e4, 1e6, 1e8])
+    waste_fraction = np.sqrt(sigma2 / fleet_sizes)
+    total_waste = waste_fraction * fleet_sizes
+    assert np.all(np.diff(waste_fraction) < 0)
+    assert np.all(np.diff(total_waste) > 0)
+    ratio = total_waste[1] / total_waste[0]
+    assert ratio == pytest.approx(np.sqrt(fleet_sizes[1] / fleet_sizes[0]), rel=1e-9)
+
+
+def test_threshold_law_benchmark(benchmark):
+    rate = benchmark.pedantic(
+        detection_rate, args=(200, 1.0, 0.5, 7), rounds=1, iterations=1
+    )
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,127 @@
+"""Detection latency — why Table 1 runs two configs per service.
+
+FrontFaaS simultaneously runs a *large* configuration (3% threshold,
+30-minute re-runs, no extended window) and a *small* one (0.005%
+threshold, 2-hour re-runs, 6-hour extended window).  The large config
+exists to catch big regressions *fast*; the small one to catch tiny
+regressions at all.  This bench measures time-to-detection for both
+configs against big and tiny injected regressions and reproduces the
+tradeoff:
+
+- big regression: the large config reports first (its re-run interval
+  and window requirements are shorter);
+- tiny regression: only the small config ever reports it.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import POINT_INTERVAL, emit
+from repro import FBDetect, TimeSeriesDatabase
+from repro.config import DetectionConfig
+from repro.tsdb import WindowSpec
+
+N_POINTS = 1400
+INJECT_AT = 900  # point index of the regression
+BASE = 0.30      # a 30%-of-CPU service-level series for the big config
+TINY_BASE = 0.001
+
+
+def large_config() -> DetectionConfig:
+    return DetectionConfig(
+        name="large",
+        threshold=0.03,
+        rerun_interval=10 * POINT_INTERVAL,           # re-runs often
+        windows=WindowSpec(400 * POINT_INTERVAL, 60 * POINT_INTERVAL, 0.0),
+        long_term=False,
+    )
+
+
+def small_config() -> DetectionConfig:
+    return DetectionConfig(
+        name="small",
+        threshold=0.00005,
+        rerun_interval=60 * POINT_INTERVAL,           # re-runs rarely
+        windows=WindowSpec(
+            400 * POINT_INTERVAL, 150 * POINT_INTERVAL, 100 * POINT_INTERVAL
+        ),
+        long_term=False,
+    )
+
+
+def build_db(base: float, magnitude: float, noise: float, seed: int) -> TimeSeriesDatabase:
+    rng = np.random.default_rng(seed)
+    values = rng.normal(base, noise, N_POINTS)
+    values[INJECT_AT:] += magnitude
+    db = TimeSeriesDatabase()
+    series = db.create("svc.metric.gcpu", {"metric": "gcpu", "subroutine": "m"})
+    for i, value in enumerate(values):
+        series.append(i * POINT_INTERVAL, float(value))
+    return db
+
+
+def first_detection_time(config: DetectionConfig, db: TimeSeriesDatabase) -> float:
+    """Simulated time of the first run that reports, or inf."""
+    detector = FBDetect(config)
+    now = INJECT_AT * POINT_INTERVAL
+    end = N_POINTS * POINT_INTERVAL
+    while now <= end:
+        result = detector.run(db, now)
+        if result.reported:
+            return now
+        now += config.rerun_interval
+    return float("inf")
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    inject_time = INJECT_AT * POINT_INTERVAL
+    big_db = build_db(BASE, magnitude=0.09, noise=0.01, seed=0)
+    tiny_db = build_db(TINY_BASE, magnitude=0.0002, noise=0.00002, seed=1)
+    return {
+        ("large", "big"): first_detection_time(large_config(), big_db) - inject_time,
+        ("small", "big"): first_detection_time(
+            small_config(), build_db(BASE, 0.09, 0.01, seed=0)
+        )
+        - inject_time,
+        ("large", "tiny"): first_detection_time(large_config(), tiny_db) - inject_time,
+        ("small", "tiny"): first_detection_time(
+            small_config(), build_db(TINY_BASE, 0.0002, 0.00002, seed=1)
+        )
+        - inject_time,
+    }
+
+
+def test_large_config_detects_big_fast(latencies):
+    assert latencies[("large", "big")] < float("inf")
+    assert latencies[("large", "big")] <= latencies[("small", "big")]
+
+
+def test_only_small_config_catches_tiny(latencies):
+    assert latencies[("large", "tiny")] == float("inf")
+    assert latencies[("small", "tiny")] < float("inf")
+
+
+def test_latency_report(latencies):
+    def fmt(value: float) -> str:
+        return "never" if value == float("inf") else f"{value / 60:.0f} min"
+
+    emit(
+        "Detection latency — the Table 1 dual-config tradeoff",
+        [
+            f"{'config':8s} {'big 9% regression':>20s} {'tiny 0.02% regression':>24s}",
+            f"{'large':8s} {fmt(latencies[('large', 'big')]):>20s} "
+            f"{fmt(latencies[('large', 'tiny')]):>24s}",
+            f"{'small':8s} {fmt(latencies[('small', 'big')]):>20s} "
+            f"{fmt(latencies[('small', 'tiny')]):>24s}",
+            "paper: the large config exists for speed, the small one for sensitivity",
+        ],
+    )
+
+
+def test_latency_benchmark(benchmark):
+    db = build_db(BASE, magnitude=0.09, noise=0.01, seed=2)
+    latency = benchmark.pedantic(
+        first_detection_time, args=(large_config(), db), rounds=1, iterations=1
+    )
+    assert latency < float("inf")

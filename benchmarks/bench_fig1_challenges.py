@@ -1,0 +1,110 @@
+"""Figure 1 — the three challenge cases.
+
+(a) a barely visible 0.005%-scale true regression must be *caught*;
+(b) a subroutine whose gCPU rises purely from a cost-shift refactor must
+    be *filtered*;
+(c) a transient throughput drop must be *filtered*.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import (
+    ANALYSIS_POINTS,
+    EXTENDED_POINTS,
+    HISTORIC_POINTS,
+    POINT_INTERVAL,
+    bench_config,
+    emit,
+)
+from repro import FBDetect, TimeSeriesDatabase
+from repro.core.types import FilterReason
+from repro.fleet import scenarios
+
+N_POINTS = HISTORIC_POINTS + ANALYSIS_POINTS + EXTENDED_POINTS
+CHANGE_AT = HISTORIC_POINTS + 60  # inside the analysis window
+
+
+def fill(db, name, values, tags):
+    series = db.create(name, tags)
+    for i, value in enumerate(values):
+        series.append(i * POINT_INTERVAL, float(value))
+
+
+def run_case_a():
+    """A 0.005%-of-CPU regression on a 0.1%-gCPU subroutine, with the
+    noise level hyperscale averaging leaves behind."""
+    rng = np.random.default_rng(0)
+    values = rng.normal(0.001, 0.00001, N_POINTS)
+    values[CHANGE_AT:] += 0.00005
+    db = TimeSeriesDatabase()
+    fill(db, "svc.sub.gcpu", values, {"metric": "gcpu", "subroutine": "sub", "service": "svc"})
+    detector = FBDetect(bench_config(threshold=0.00002))
+    return detector.run(db, now=N_POINTS * POINT_INTERVAL)
+
+
+def run_case_b():
+    """Figure 1(b): the target's gCPU jumps, the enclosing domain is flat."""
+    rng = np.random.default_rng(1)
+    shifted = 0.0003  # cost moved from sibling to target at CHANGE_AT
+    target = rng.normal(0.0001, 0.00002, N_POINTS)
+    target[CHANGE_AT:] += shifted
+    sibling = rng.normal(0.0007, 0.00002, N_POINTS)
+    sibling[CHANGE_AT:] -= shifted
+    db = TimeSeriesDatabase()
+    fill(db, "svc.ns::K::target.gcpu", target,
+         {"metric": "gcpu", "subroutine": "ns::K::target", "service": "svc"})
+    fill(db, "svc.ns::K::sibling.gcpu", sibling,
+         {"metric": "gcpu", "subroutine": "ns::K::sibling", "service": "svc"})
+    detector = FBDetect(bench_config(threshold=0.00002))
+    return detector.run(db, now=N_POINTS * POINT_INTERVAL)
+
+
+def run_case_c():
+    """Figure 1(c): a transient throughput drop that recovers."""
+    values = scenarios.transient_throughput_drop(
+        n_points=N_POINTS, drop_start=CHANGE_AT, drop_length=60, seed=2
+    )
+    db = TimeSeriesDatabase()
+    fill(db, "svc.throughput", values, {"metric": "throughput", "service": "svc"})
+    detector = FBDetect(bench_config(threshold=5.0, higher_is_worse=False))
+    return detector.run(db, now=N_POINTS * POINT_INTERVAL)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_case_a(), run_case_b(), run_case_c()
+
+
+def test_fig1_shapes(outcomes):
+    case_a, case_b, case_c = outcomes
+
+    assert len(case_a.reported) == 1, "the tiny true regression must be caught"
+    magnitude = case_a.reported[0].magnitude
+
+    target_reports = [
+        r for r in case_b.reported if r.context.subroutine == "ns::K::target"
+    ]
+    assert target_reports == [], "the cost-shift illusion must be filtered"
+    shift_drops = [
+        c for c in case_b.all_candidates
+        if any(v.reason is FilterReason.COST_SHIFT for v in c.verdicts)
+    ]
+    assert shift_drops, "the filter must be the cost-shift detector"
+
+    assert case_c.reported == [], "the transient drop must be filtered"
+
+    emit(
+        "Figure 1 — challenge cases",
+        [
+            f"(a) true 0.005%-scale regression: REPORTED, magnitude {magnitude:.6f}",
+            "(b) cost-shift illusion:          FILTERED (cost-shift detector)",
+            "(c) transient throughput drop:    FILTERED (went-away detector)",
+        ],
+    )
+
+
+def test_fig1_detection_benchmark(benchmark):
+    """Time one full pipeline run over the Figure 1(a) series."""
+    result = benchmark(run_case_a)
+    assert len(result.reported) == 1

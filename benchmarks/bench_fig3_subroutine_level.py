@@ -1,0 +1,64 @@
+"""Figure 3 — subroutine-level averaging, 1000x fewer servers.
+
+Distributing the process CPU across k=1000 subroutines drops the
+per-subroutine variance by k (Expression 2), so the same regression is
+detectable from m = 50,000 servers instead of Figure 2's 50,000,000.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import emit
+from repro.fleet.scenarios import subroutine_level_average
+
+
+M_VALUES = (500, 5_000, 50_000)
+N_POINTS = 500
+K = 1000
+
+
+def analyze(m: int, seed: int = 0):
+    series = subroutine_level_average(m, k_subroutines=K, n_points=N_POINTS, seed=seed)
+    noise = float(series[: N_POINTS // 2].std())
+    shift = float(series[N_POINTS // 2 :].mean() - series[: N_POINTS // 2].mean())
+    # The figures' criterion is *visual* visibility: the step must rise
+    # clear of the per-point noise band (>= 2 sigma).
+    visible = shift > 2 * noise
+    return noise, shift, visible
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {m: analyze(m) for m in M_VALUES}
+
+
+def test_fig3_noise_shrinks_with_m(sweep):
+    noises = [sweep[m][0] for m in M_VALUES]
+    assert noises[0] > noises[1] > noises[2]
+
+
+def test_fig3_thousandfold_reduction(sweep):
+    # Detectable at m=50k — 1000x fewer servers than Figure 2 needed.
+    assert sweep[50_000][2]
+    assert not sweep[500][2]
+
+    rows = [
+        f"m={m:>7,d}  noise(std)={sweep[m][0]:.2e}  measured shift={sweep[m][1]:+.2e}  "
+        f"regression {'VISIBLE' if sweep[m][2] else 'buried in noise'}"
+        for m in M_VALUES
+    ]
+    rows.append(
+        "paper: k=1000 subroutines -> same detectability from 1000x fewer servers"
+    )
+    emit("Figure 3 — subroutine-level averaging (k=1000)", rows)
+
+
+def test_fig3_censoring_raises_level(sweep):
+    # Footnote 2: the observed level sits well above mu/k = 0.05%.
+    series = subroutine_level_average(5_000, k_subroutines=K, n_points=100)
+    assert series.mean() > 0.0015  # paper's Figure 3 sits around 0.17-0.18%
+
+
+def test_fig3_generation_benchmark(benchmark):
+    series = benchmark(subroutine_level_average, 50_000, K, N_POINTS)
+    assert series.size == N_POINTS

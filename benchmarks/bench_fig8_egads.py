@@ -1,0 +1,125 @@
+"""Figure 8 — FBDetect vs Yahoo EGADS false-positive/false-negative tradeoff.
+
+A labelled corpus (true regressions; clean, transient, seasonal
+negatives) is scored by the three EGADS algorithm families across their
+sensitivity sweeps and by FBDetect.  The paper's shape: every EGADS
+family trades FPs against FNs along a curve, while FBDetect sits near
+the origin — low on both axes simultaneously — because the went-away
+detector disarms the transients that force EGADS's tradeoff.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import bench_config, confusion, detect_window, emit, window_pairs
+from repro.baselines import (
+    AdaptiveKernelDensityModel,
+    ExtremeLowDensityModel,
+    KSigmaModel,
+    sweep_tradeoff,
+)
+from repro.workloads import WindowKind, generate_labeled_window
+
+N_POSITIVE = 25
+N_CLEAN = 40
+N_TRANSIENT = 40
+N_SEASONAL = 15
+N_WOBBLE = 45
+N_DRIFT = 15
+BASE = 0.001
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # Mirrors the paper's test set construction: the 107 positives were
+    # series where FBDetect *reported* regressions, i.e. magnitudes above
+    # its detectability floor — so positives here sample the detectable
+    # range (5%-200% of baseline).  Negatives include the messy-but-
+    # benign structure production series carry (long transients,
+    # autocorrelated wobble, recovering drift) — the structure that
+    # forces window-level detectors into the FP/FN tradeoff.
+    rng = np.random.default_rng(88)
+    windows = []
+    for _ in range(N_POSITIVE):
+        relative = float(np.exp(rng.uniform(np.log(0.05), np.log(2.0))))
+        windows.append(
+            generate_labeled_window(
+                WindowKind.REGRESSION, rng, noise_fraction=0.02,
+                magnitude=BASE * relative,
+            )
+        )
+    composition = (
+        (WindowKind.CLEAN, N_CLEAN),
+        (WindowKind.TRANSIENT, N_TRANSIENT),
+        (WindowKind.SEASONAL, N_SEASONAL),
+        (WindowKind.WOBBLE, N_WOBBLE),
+        (WindowKind.DRIFT, N_DRIFT),
+    )
+    for kind, count in composition:
+        for _ in range(count):
+            windows.append(generate_labeled_window(kind, rng, noise_fraction=0.02))
+    return windows
+
+
+@pytest.fixture(scope="module")
+def fbdetect_point(corpus):
+    config = bench_config(threshold=0.000004)
+    results = [detect_window(window, config) for window in corpus]
+    counts = confusion(corpus, results)
+    fp_rate = counts["fp"] / max(1, counts["fp"] + counts["tn"])
+    fn_rate = counts["fn"] / max(1, counts["fn"] + counts["tp"])
+    return fp_rate, fn_rate
+
+
+@pytest.fixture(scope="module")
+def egads_curves(corpus):
+    positives, negatives = window_pairs(corpus)
+    return {
+        model.__name__: sweep_tradeoff(model, positives, negatives)
+        for model in (KSigmaModel, AdaptiveKernelDensityModel, ExtremeLowDensityModel)
+    }
+
+
+def test_fig8_fbdetect_low_on_both_axes(fbdetect_point):
+    fp_rate, fn_rate = fbdetect_point
+    assert fp_rate <= 0.05, "FBDetect must keep FPs near zero"
+    assert fn_rate <= 0.05, "FBDetect must catch (essentially) all reported-scale regressions"
+
+
+def test_fig8_egads_cannot_do_both(egads_curves, fbdetect_point):
+    """At any sensitivity meeting a small FP budget, every EGADS family
+    pays a higher FN rate than FBDetect — the Figure 8 shape."""
+    fp_rate, fn_rate = fbdetect_point
+    # The paper's comparison: hold EGADS to FBDetect's own FP rate and
+    # read off the FN each algorithm must then pay.
+    fp_budget = fp_rate
+    rows = [f"FBDetect point:  FP={fp_rate:.4f}  FN={fn_rate:.4f}"]
+    for name, curve in egads_curves.items():
+        eligible = [p for p in curve if p.false_positive_rate <= fp_budget]
+        best_fn = min((p.false_negative_rate for p in eligible), default=1.0)
+        points = ", ".join(
+            f"({p.false_positive_rate:.2f},{p.false_negative_rate:.2f})" for p in curve
+        )
+        rows.append(f"{name:30s} best FN at FP<={fp_budget:.3f}: {best_fn:.2f}")
+        rows.append(f"{'':32s}curve (FP,FN): {points}")
+        assert best_fn >= fn_rate + 0.2, (
+            f"{name} should pay a large FN premium at FBDetect's FP rate"
+        )
+    rows.append("paper: EGADS cannot simultaneously reduce both FP and FN; FBDetect can")
+    emit("Figure 8 — FBDetect vs EGADS tradeoff", rows)
+
+
+def test_fig8_egads_tradeoff_is_monotone(egads_curves):
+    # Each family's sensitivity sweep moves monotonically along the FP
+    # axis (direction depends on the parameter's semantics).
+    for name, curve in egads_curves.items():
+        fps = [p.false_positive_rate for p in curve]
+        assert fps == sorted(fps) or fps == sorted(fps, reverse=True), (
+            f"{name} sweep not monotone"
+        )
+
+
+def test_fig8_ksigma_benchmark(benchmark, corpus):
+    positives, negatives = window_pairs(corpus)
+    points = benchmark(sweep_tradeoff, KSigmaModel, positives, negatives)
+    assert points

@@ -1,0 +1,110 @@
+"""Table 4 — magnitude distribution of detected regressions.
+
+Inject regressions whose magnitudes span the paper's range (smallest
+0.005% absolute, largest a few percent) into gCPU-scale series, run the
+full pipeline, and report quantiles of the *detected* set the way
+Table 4 does.  The shape to reproduce: detection succeeds down to the
+0.005%-scale floor, the distribution is heavily right-skewed (P50 well
+below P90 well below the max), and tiny regressions are not
+disproportionately false-negatived.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import bench_config, detect_window, emit
+from repro.stats.descriptive import summarize
+from repro.workloads import WindowKind, generate_labeled_window
+
+N_REGRESSIONS = 120
+BASE = 0.001          # a 0.1%-gCPU subroutine
+NOISE_FRACTION = 0.01
+
+
+def magnitude_grid(rng: np.random.Generator) -> np.ndarray:
+    """Absolute magnitudes log-uniform over the paper's detected range.
+
+    0.00005 (= 0.005% of total CPU, the paper's smallest) up to 0.04
+    (= 4%, near the paper's largest true regression of 3.9%).
+    """
+    return np.exp(rng.uniform(np.log(0.00005), np.log(0.04), N_REGRESSIONS))
+
+
+@pytest.fixture(scope="module")
+def detected_magnitudes():
+    rng = np.random.default_rng(4)
+    config = bench_config(threshold=0.00002)
+    detected = []
+    injected = []
+    for magnitude in magnitude_grid(rng):
+        window = generate_labeled_window(
+            WindowKind.REGRESSION,
+            rng,
+            base=BASE,
+            noise_fraction=NOISE_FRACTION,
+            magnitude=float(magnitude),
+        )
+        injected.append(float(magnitude))
+        result = detect_window(window, config)
+        if result.reported:
+            detected.append(result.reported[0].magnitude)
+    return np.array(injected), np.array(detected)
+
+
+def test_table4_smallest_detected_is_paper_scale(detected_magnitudes):
+    _, detected = detected_magnitudes
+    assert detected.size > 0
+    # The pipeline catches regressions down to the 0.005%-of-CPU scale.
+    assert detected.min() <= 0.0001
+
+
+def test_table4_quantile_shape(detected_magnitudes):
+    injected, detected = detected_magnitudes
+    summary = summarize(detected)
+    # Right-skewed, like the paper's Table 4 (P50=0.048%, P90=0.24%,
+    # largest 3.9% for true regressions).
+    assert summary.p50 < summary.p90 < summary.maximum
+    assert summary.maximum > 10 * summary.p50
+
+    recall = detected.size / injected.size
+    assert recall > 0.85, "most injected regressions must be detected"
+
+    rows = [
+        f"injected: {injected.size} regressions, log-uniform 0.005%..4% absolute",
+        f"detected: {detected.size} ({recall * 100:.0f}% recall)",
+        "",
+        f"{'':10s}Smallest     P10          P50          P90          P99          Largest",
+        (
+            f"{'measured':10s}"
+            f"{summary.minimum * 100:<13.4f}{summary.p10 * 100:<13.4f}"
+            f"{summary.p50 * 100:<13.4f}{summary.p90 * 100:<13.4f}"
+            f"{summary.p99 * 100:<13.4f}{summary.maximum * 100:<13.4f}"
+        ),
+        f"{'paper(TR)':10s}{'0.005':<13s}{'0.011':<13s}{'0.048':<13s}"
+        f"{'0.241':<13s}{'0.809':<13s}{'3.862':<13s}",
+        "(units: % of total CPU; paper quantiles shown for the confirmed-true set)",
+    ]
+    emit("Table 4 — magnitude of detected regressions", rows)
+
+
+def test_table4_tiny_regressions_not_disproportionately_missed(detected_magnitudes):
+    injected, detected = detected_magnitudes
+    # §6.4: "the false positive rate is not higher for tiny regressions";
+    # symmetrically, detection should not collapse for the small half as
+    # long as magnitudes sit above the noise floor of the windows.
+    floor = 3 * BASE * NOISE_FRACTION / np.sqrt(100)  # detectability floor
+    detectable = injected[injected > floor]
+    small_half = np.sort(detectable)[: detectable.size // 2]
+    caught_small = sum(1 for m in small_half if (np.abs(detected / m - 1) < 0.5).any())
+    assert caught_small / small_half.size > 0.6
+
+
+def test_table4_detection_benchmark(benchmark):
+    rng = np.random.default_rng(5)
+    config = bench_config(threshold=0.00002)
+    window = generate_labeled_window(
+        WindowKind.REGRESSION, rng, base=BASE, noise_fraction=NOISE_FRACTION,
+        magnitude=0.0005,
+    )
+    result = benchmark(detect_window, window, config)
+    assert result.reported

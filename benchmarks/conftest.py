@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Capacity Triage (CT): throughput regressions without stack traces.
+
+CT (§3) watches Kraken-style per-server maximum-throughput benchmarks.
+A drop in max throughput is a *supply-side* regression; a rise in total
+peak requests is a *demand-side* regression.  Both use 5% relative
+thresholds (Table 1's last three rows) and no stack-trace sampling.
+
+This example synthesizes both series — a supply drop caused by a binary
+update, plus a transient dip from a load-balancer blip that must NOT be
+reported — and runs the CT configurations over them.
+
+Run:  python examples/capacity_triage.py
+"""
+
+import numpy as np
+
+from repro import FBDetect, TimeSeriesDatabase, table1_config
+
+
+def build_series() -> TimeSeriesDatabase:
+    rng = np.random.default_rng(21)
+    db = TimeSeriesDatabase()
+
+    # Supply side: per-server max throughput (req/s), measured hourly.
+    # A binary update at hour 700 costs 8% of capacity — a supply
+    # regression.  A 12-hour load-balancer blip at hour 400 recovers on
+    # its own and must be filtered.
+    supply = rng.normal(1_000.0, 12.0, 900)
+    supply[400:412] *= 0.85
+    supply[700:] *= 0.92
+    series = db.create("ct.webtier.max_throughput", {"service": "webtier", "metric": "throughput"})
+    for hour, value in enumerate(supply):
+        series.append(hour * 3600.0, float(value))
+
+    # Demand side: total peak requests.  Organic growth plus a step when
+    # a new client starts hammering the service at hour 720.
+    demand = rng.normal(500_000.0, 6_000.0, 900)
+    demand[720:] *= 1.09
+    series = db.create("ct.webtier.peak_requests", {"service": "webtier", "metric": "demand"})
+    for hour, value in enumerate(demand):
+        series.append(hour * 3600.0, float(value))
+    return db
+
+
+def main() -> None:
+    db = build_series()
+    now = 900 * 3600.0
+
+    # Windows shrunk from days to the demo's 900 hourly points.
+    supply_config = table1_config("ct_supply_short").with_windows(
+        historic=600 * 3600.0, analysis=200 * 3600.0, extended=100 * 3600.0
+    )
+    supply_detector = FBDetect(supply_config, series_filter={"metric": "throughput"})
+    supply_result = supply_detector.run(db, now=now)
+
+    print("=== CT-supply (max-throughput drops) ===")
+    print(f"reported: {len(supply_result.reported)}")
+    for regression in supply_result.reported:
+        drop = -regression.magnitude  # oriented: stored as badness
+        print(
+            f"  {regression.context.metric_id}: capacity dropped "
+            f"{abs(regression.relative_magnitude) * 100:.1f}% "
+            f"({abs(drop):.0f} req/s per server)"
+        )
+    filtered = [
+        c for c in supply_result.all_candidates
+        if c.verdicts and not c.verdicts[-1].passed
+    ]
+    print(f"filtered as transient/noise: {len(filtered)}")
+
+    demand_config = table1_config("ct_demand").with_windows(
+        historic=600 * 3600.0, analysis=200 * 3600.0, extended=100 * 3600.0
+    )
+    demand_detector = FBDetect(demand_config, series_filter={"metric": "demand"})
+    demand_result = demand_detector.run(db, now=now)
+
+    print("\n=== CT-demand (peak-request increases) ===")
+    print(f"reported: {len(demand_result.reported)}")
+    for regression in demand_result.reported:
+        print(
+            f"  {regression.context.metric_id}: demand up "
+            f"{regression.relative_magnitude * 100:.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Endpoint-level regressions via end-to-end tracing.
+
+FrontFaaS endpoint requests span multiple threads; FBDetect aggregates
+each request's cost across all of them (Canopy-style tracing) and
+detects regressions in the aggregated endpoint cost (§3).
+
+This example simulates an endpoint whose request handling fans out to a
+background worker thread.  After the "deploy", the *background* half of
+the work gets 25% more expensive — invisible to any single thread's
+metrics, but caught in the aggregated endpoint cost.
+
+Run:  python examples/endpoint_tracing.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro import FBDetect
+from repro.config import DetectionConfig
+from repro.profiling.tracing import EndpointCostAggregator, Tracer
+from repro.reporting import build_report, format_report
+from repro.tsdb import TimeSeriesDatabase, WindowSpec
+
+
+def simulate_request(tracer, rng, background_cost_factor):
+    """One /feed request: foreground render + async background fetch."""
+    with tracer.request("/feed") as trace:
+        with tracer.span("render", cpu_cost=0.6 + rng.normal(0, 0.01)) as render:
+            def background():
+                cost = (0.4 + rng.normal(0, 0.01)) * background_cost_factor
+                with tracer.span("fetch_async", cpu_cost=cost, parent=render, trace=trace):
+                    pass
+
+            worker = threading.Thread(target=background)
+            worker.start()
+            worker.join()
+    return trace
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    tracer = Tracer()
+    db = TimeSeriesDatabase()
+    aggregator = EndpointCostAggregator(db, service="frontfaas")
+
+    print("simulating 900 collection intervals of traced /feed requests ...")
+    for tick in range(900):
+        factor = 1.0 if tick < 700 else 1.25  # background work regresses
+        for _ in range(4):
+            simulate_request(tracer, rng, factor)
+        aggregator.ingest(tick * 60.0, tracer.completed)
+        tracer.completed.clear()
+
+    sample = simulate_request(tracer, rng, 1.25)
+    print(f"\none traced request spans {sample.thread_count} threads, "
+          f"total cost {sample.total_cpu_cost:.2f} CPU-units")
+
+    config = DetectionConfig(
+        name="endpoint-cost",
+        threshold=0.05,
+        rerun_interval=3600.0,
+        windows=WindowSpec(36_000.0, 12_000.0, 6_000.0),
+        long_term=False,
+    )
+    detector = FBDetect(config, series_filter={"metric": "endpoint_cost"})
+    result = detector.run(db, now=900 * 60.0)
+
+    print(f"\nendpoint-level regressions reported: {len(result.reported)}\n")
+    for regression in result.reported:
+        print(format_report(build_report(regression)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Baseline anomaly-detection algorithms FBDetect is compared against.
+
+- :mod:`repro.baselines.egads` — reimplementations of the Yahoo EGADS
+  algorithm families used in the paper's Figure 8: K-Sigma, adaptive
+  kernel density, and extreme low density, each with a sensitivity
+  parameter sweeping the FP/FN tradeoff.
+- :mod:`repro.baselines.naive` — plain change-point detection with no
+  transient filtering (the §1 strawman with a 99.7% false-positive rate).
+- :mod:`repro.baselines.scalene_like` — a Python-level-only profiler
+  that can merely approximate native time (the §4 Scalene comparison).
+"""
+
+from repro.baselines.egads import (
+    AdaptiveKernelDensityModel,
+    EgadsModel,
+    ExtremeLowDensityModel,
+    KSigmaModel,
+    sweep_tradeoff,
+)
+from repro.baselines.naive import NaiveChangePointDetector
+from repro.baselines.scalene_like import ScaleneLikeProfiler, attribution_error
+
+__all__ = [
+    "AdaptiveKernelDensityModel",
+    "EgadsModel",
+    "ExtremeLowDensityModel",
+    "KSigmaModel",
+    "NaiveChangePointDetector",
+    "ScaleneLikeProfiler",
+    "attribution_error",
+    "sweep_tradeoff",
+]

@@ -1,0 +1,185 @@
+"""EGADS-style anomaly-detection baselines (Figure 8, §6.5).
+
+Yahoo's EGADS [Laptev et al., KDD '15] offers multiple anomaly-detection
+models that compare an analysis window against a historic baseline and
+flag windows whose values are improbable under the baseline's
+distribution.  Each model exposes one *sensitivity* parameter; tightening
+it trades false negatives for false positives, which is exactly the
+tradeoff Figure 8 sweeps.
+
+Implemented families:
+
+- :class:`KSigmaModel` — flags when the analysis mean deviates from the
+  historic mean by more than ``k`` historic standard deviations.
+- :class:`AdaptiveKernelDensityModel` — Gaussian KDE over the historic
+  window with a data-adaptive bandwidth; flags when the mean density of
+  analysis points falls below a quantile of historic self-density.
+- :class:`ExtremeLowDensityModel` — flags when the *fraction* of
+  analysis points lying in near-zero-density regions of the historic
+  distribution exceeds the sensitivity.
+
+These are deliberately window-level anomaly detectors without FBDetect's
+went-away/seasonality machinery: transient issues that fall inside the
+analysis window look identical to true regressions, which is why they
+"cannot simultaneously reduce both false negatives and false positives."
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EgadsModel",
+    "KSigmaModel",
+    "AdaptiveKernelDensityModel",
+    "ExtremeLowDensityModel",
+    "sweep_tradeoff",
+    "TradeoffPoint",
+]
+
+
+class EgadsModel(abc.ABC):
+    """Interface of an EGADS-style window anomaly detector.
+
+    Args:
+        sensitivity: The model's tunable parameter; semantics are
+            model-specific but in every model a *lower* value flags more
+            windows (more FPs, fewer FNs).
+    """
+
+    def __init__(self, sensitivity: float) -> None:
+        self.sensitivity = sensitivity
+
+    @abc.abstractmethod
+    def is_anomalous(self, historic: Sequence[float], analysis: Sequence[float]) -> bool:
+        """Whether the analysis window is anomalous against the baseline."""
+
+    @classmethod
+    @abc.abstractmethod
+    def sensitivity_range(cls) -> np.ndarray:
+        """A reasonable sweep of the sensitivity parameter."""
+
+
+class KSigmaModel(EgadsModel):
+    """Flag when ``|mean(analysis) - mean(historic)| > k * std(historic)``."""
+
+    def is_anomalous(self, historic: Sequence[float], analysis: Sequence[float]) -> bool:
+        h = np.asarray(historic, dtype=float)
+        a = np.asarray(analysis, dtype=float)
+        if h.size == 0 or a.size == 0:
+            return False
+        std = float(h.std())
+        if std == 0:
+            return bool(abs(float(a.mean()) - float(h.mean())) > 0)
+        return abs(float(a.mean()) - float(h.mean())) > self.sensitivity * std
+
+    @classmethod
+    def sensitivity_range(cls) -> np.ndarray:
+        return np.array([0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+
+
+class AdaptiveKernelDensityModel(EgadsModel):
+    """Gaussian KDE with Silverman's adaptive bandwidth.
+
+    The analysis window is anomalous when the mean historic-density of
+    its points falls below the ``sensitivity`` quantile of the historic
+    points' own densities (leave-in estimate).
+    """
+
+    def is_anomalous(self, historic: Sequence[float], analysis: Sequence[float]) -> bool:
+        h = np.asarray(historic, dtype=float)
+        a = np.asarray(analysis, dtype=float)
+        if h.size < 5 or a.size == 0:
+            return False
+        bandwidth = self._bandwidth(h)
+        self_density = self._density(h, h, bandwidth)
+        analysis_density = self._density(a, h, bandwidth)
+        cutoff = float(np.quantile(self_density, self.sensitivity))
+        return float(analysis_density.mean()) < cutoff
+
+    @staticmethod
+    def _bandwidth(h: np.ndarray) -> float:
+        # Silverman's rule; floor avoids a zero bandwidth on constants.
+        sigma = float(h.std())
+        return max(1.06 * sigma * h.size ** (-1 / 5), 1e-12)
+
+    @staticmethod
+    def _density(points: np.ndarray, reference: np.ndarray, bandwidth: float) -> np.ndarray:
+        z = (points[:, None] - reference[None, :]) / bandwidth
+        kernel = np.exp(-0.5 * z * z) / np.sqrt(2 * np.pi)
+        return kernel.mean(axis=1) / bandwidth
+
+    @classmethod
+    def sensitivity_range(cls) -> np.ndarray:
+        return np.array([0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5])
+
+
+class ExtremeLowDensityModel(EgadsModel):
+    """Flag when too many analysis points sit in extreme low density.
+
+    A point is "extreme low density" when it lies outside the historic
+    window's [q, 1-q] quantile band for a small fixed ``q``; the window
+    is anomalous when the fraction of such points exceeds
+    ``sensitivity``.
+    """
+
+    EXTREME_QUANTILE = 0.02
+
+    def is_anomalous(self, historic: Sequence[float], analysis: Sequence[float]) -> bool:
+        h = np.asarray(historic, dtype=float)
+        a = np.asarray(analysis, dtype=float)
+        if h.size < 5 or a.size == 0:
+            return False
+        lo = float(np.quantile(h, self.EXTREME_QUANTILE))
+        hi = float(np.quantile(h, 1 - self.EXTREME_QUANTILE))
+        extreme_fraction = float(((a < lo) | (a > hi)).mean())
+        return extreme_fraction > self.sensitivity
+
+    @classmethod
+    def sensitivity_range(cls) -> np.ndarray:
+        return np.array([0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9])
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One (sensitivity, FP rate, FN rate) point of a Figure 8 curve."""
+
+    sensitivity: float
+    false_positive_rate: float
+    false_negative_rate: float
+
+
+def sweep_tradeoff(
+    model_class,
+    positives: Sequence[Tuple[np.ndarray, np.ndarray]],
+    negatives: Sequence[Tuple[np.ndarray, np.ndarray]],
+) -> List[TradeoffPoint]:
+    """Sweep a model's sensitivity over labelled window pairs.
+
+    Args:
+        model_class: An :class:`EgadsModel` subclass.
+        positives: ``(historic, analysis)`` pairs containing true
+            regressions.
+        negatives: Pairs without regressions (including transients).
+
+    Returns:
+        One :class:`TradeoffPoint` per sensitivity value, mirroring the
+        paper's Figure 8 axes.
+    """
+    points = []
+    for sensitivity in model_class.sensitivity_range():
+        model = model_class(float(sensitivity))
+        fn = sum(1 for h, a in positives if not model.is_anomalous(h, a))
+        fp = sum(1 for h, a in negatives if model.is_anomalous(h, a))
+        points.append(
+            TradeoffPoint(
+                sensitivity=float(sensitivity),
+                false_positive_rate=fp / len(negatives) if negatives else 0.0,
+                false_negative_rate=fn / len(positives) if positives else 0.0,
+            )
+        )
+    return points

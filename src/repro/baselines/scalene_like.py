@@ -1,0 +1,94 @@
+"""A Scalene-style Python-level profiler baseline (§4 comparison).
+
+The paper positions PyPerf against Scalene: "the state-of-the-art Python
+profiler, Scalene, can only approximate the time spent in C/C++
+libraries since its Python-level profiling cannot reach into C/C++
+code."  This baseline reproduces that limitation faithfully so the
+difference is measurable:
+
+- it samples only the *Python* virtual call stack (it cannot walk the
+  native stack at all);
+- time a thread spends inside a native library is observed merely as
+  "the interpreter did not advance" and must be attributed by heuristic
+  to the innermost Python frame that made the native call.
+
+Against the same simulated process, PyPerf's merged stacks name the
+native frames exactly, while this baseline folds all native time into
+Python callers — overstating their self cost and losing the native
+breakdown entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.profiling.pyperf import SimulatedCPythonProcess
+from repro.profiling.stacktrace import Frame, StackTrace
+
+__all__ = ["ScaleneLikeProfiler", "attribution_error"]
+
+
+@dataclass(frozen=True)
+class _PythonOnlySample:
+    """What a Python-level profiler can observe at one sample instant."""
+
+    python_stack: Tuple[str, ...]
+    in_native_code: bool
+
+
+class ScaleneLikeProfiler:
+    """Samples only the Python virtual call stack.
+
+    Native frames are invisible; when the process is executing native
+    code, the sample attributes that time to the innermost Python frame
+    (Scalene's "C time" bucket, folded into its caller).
+    """
+
+    def __init__(self) -> None:
+        self.samples_taken = 0
+
+    def observe(self, process: SimulatedCPythonProcess) -> _PythonOnlySample:
+        """One observation: Python frames only, plus a native-code bit."""
+        self.samples_taken += 1
+        python_stack = tuple(frame.function for frame in process.vcs)
+        leaf = process.system_stack[-1] if process.system_stack else None
+        in_native = leaf is not None and leaf.kind == "native"
+        return _PythonOnlySample(python_stack=python_stack, in_native_code=in_native)
+
+    def sample(self, process: SimulatedCPythonProcess) -> StackTrace:
+        """The reconstructed trace: Python frames, native time folded in.
+
+        The returned trace ends at the innermost Python frame even when
+        the process was actually inside a C library — the approximation
+        the paper calls out.
+        """
+        observation = self.observe(process)
+        frames = tuple(Frame(name, kind="python") for name in observation.python_stack)
+        return StackTrace(frames=(Frame("_start", kind="system"),) + frames)
+
+
+def attribution_error(
+    merged_samples: Sequence[StackTrace],
+    python_only_samples: Sequence[StackTrace],
+) -> Dict[str, float]:
+    """Per-frame gCPU attribution difference between the two profilers.
+
+    Positive values mean the Python-level profiler *over*-attributes the
+    frame (it absorbed invisible native time); native frames appear with
+    negative values (the Python-level profiler never sees them).
+
+    Returns:
+        ``{subroutine: gcpu_python_only - gcpu_merged}`` over the union
+        of frames, omitting frames where the two agree exactly.
+    """
+    from repro.profiling.gcpu import compute_gcpu
+
+    merged = compute_gcpu(merged_samples).as_dict()
+    python_only = compute_gcpu(python_only_samples).as_dict()
+    errors: Dict[str, float] = {}
+    for name in set(merged) | set(python_only):
+        delta = python_only.get(name, 0.0) - merged.get(name, 0.0)
+        if delta != 0.0:
+            errors[name] = delta
+    return errors

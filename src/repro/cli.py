@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Three subcommands mirror the production workflow:
+
+- ``repro-fbdetect simulate`` — run a fleet simulation for a Table 1
+  workload preset, injecting an optional regression, and dump the
+  resulting series to a CSV.
+- ``repro-fbdetect detect`` — run detection over a CSV of
+  ``timestamp,value`` points with a chosen configuration and print the
+  incident reports.
+- ``repro-fbdetect presets`` — list the available Table 1 presets.
+
+Example::
+
+    repro-fbdetect simulate --preset invoicer_short --regress 1.2 \
+        --out /tmp/series.csv
+    repro-fbdetect detect /tmp/series.csv --config invoicer_short
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import FBDetect, TimeSeriesDatabase, table1_config
+from repro.config import TABLE1_CONFIGS
+from repro.fleet import ChangeEffect, ChangeLog, CodeChange, FleetSimulator
+from repro.reporting import build_report, format_report
+from repro.workloads import build_preset, preset_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fbdetect",
+        description="FBDetect reproduction: simulate fleets and detect regressions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run a fleet simulation preset")
+    simulate.add_argument("--preset", default="invoicer_short", choices=preset_names())
+    simulate.add_argument("--ticks", type=int, default=900, help="collection intervals")
+    simulate.add_argument("--interval", type=float, default=60.0, help="seconds per tick")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--regress",
+        type=float,
+        default=0.0,
+        help="cost factor applied to the hottest subroutine at 70%% of the run "
+        "(e.g. 1.2 = +20%%); 0 disables",
+    )
+    simulate.add_argument("--out", required=True, help="output CSV path")
+    simulate.add_argument(
+        "--metric",
+        default=None,
+        help="series name to export (default: hottest subroutine's gCPU)",
+    )
+
+    detect = sub.add_parser("detect", help="detect regressions in a CSV series")
+    detect.add_argument("csv_path", help="CSV of timestamp,value rows")
+    detect.add_argument("--config", default="frontfaas_small", choices=sorted(TABLE1_CONFIGS))
+    detect.add_argument(
+        "--fit-windows",
+        action="store_true",
+        default=True,
+        help="shrink the configured windows to span the CSV (default on)",
+    )
+    detect.add_argument("--threshold", type=float, default=None, help="override threshold")
+
+    sub.add_parser("presets", help="list Table 1 workload presets")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    preset = build_preset(args.preset, seed=args.seed)
+    graph = preset.service.call_graph
+    probabilities = graph.inclusion_probabilities()
+    hottest = max(
+        (name for name in graph.names() if name != graph.root),
+        key=lambda name: probabilities[name],
+    )
+
+    change_log = ChangeLog()
+    if args.regress:
+        change_log.add(
+            CodeChange(
+                "cli-injected",
+                deploy_time=0.7 * args.ticks * args.interval,
+                title=f"cli: regress {hottest}",
+                effects=(ChangeEffect(hottest, args.regress),),
+            )
+        )
+
+    simulation = FleetSimulator(
+        preset.service, change_log=change_log, interval=args.interval, seed=args.seed
+    ).run(args.ticks)
+
+    metric = args.metric or f"{preset.service.name}.{hottest}.gcpu"
+    series = simulation.database.get(metric)
+    if series is None:
+        print(f"error: no series named {metric!r}; available:", file=sys.stderr)
+        for name in simulation.database.names()[:20]:
+            print(f"  {name}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w", newline="", encoding="utf-8") as sink:
+        writer = csv.writer(sink)
+        writer.writerow(["timestamp", "value"])
+        for timestamp, value in series:
+            writer.writerow([f"{timestamp:.3f}", f"{value:.10g}"])
+    print(f"wrote {len(series)} points of {metric} to {args.out}")
+    if args.regress:
+        print(f"injected x{args.regress} regression on {hottest} at tick {int(0.7 * args.ticks)}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    timestamps: List[float] = []
+    values: List[float] = []
+    with open(args.csv_path, newline="", encoding="utf-8") as source:
+        reader = csv.reader(source)
+        header = next(reader, None)
+        if header and header[0] != "timestamp":
+            # Headerless file: first row is data.
+            timestamps.append(float(header[0]))
+            values.append(float(header[1]))
+        for row in reader:
+            if not row:
+                continue
+            timestamps.append(float(row[0]))
+            values.append(float(row[1]))
+    if len(values) < 30:
+        print("error: need at least 30 points", file=sys.stderr)
+        return 2
+
+    config = table1_config(args.config)
+    if args.threshold is not None:
+        from dataclasses import replace
+
+        config = replace(config, threshold=args.threshold)
+    span = timestamps[-1] - timestamps[0]
+    if args.fit_windows and span > 0:
+        config = config.with_windows(
+            historic=span * 2 / 3, analysis=span * 2 / 9, extended=span * 1 / 9
+        )
+
+    database = TimeSeriesDatabase()
+    series = database.create("cli.series", {"metric": "cli"})
+    for timestamp, value in zip(timestamps, values):
+        series.append(timestamp, value)
+
+    detector = FBDetect(config)
+    result = detector.run(database, now=timestamps[-1] + 1e-9)
+
+    print(f"change points detected: {result.funnel.counts['change_points']}")
+    print(f"regressions reported:   {len(result.reported)}")
+    for regression in result.reported:
+        print()
+        print(format_report(build_report(regression)))
+    return 0 if result.reported else 1
+
+
+def _cmd_presets(_: argparse.Namespace) -> int:
+    for key in preset_names():
+        preset = build_preset(key)
+        print(f"{key:20s} {preset.config.name:22s} {preset.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "detect": _cmd_detect,
+        "presets": _cmd_presets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

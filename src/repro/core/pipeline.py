@@ -1,0 +1,399 @@
+"""The Figure 6 detection pipeline.
+
+One :meth:`DetectionPipeline.run` is one periodic scan: every matching
+series in the TSDB is windowed at the reference time and pushed through
+the short-term path (change point -> went-away -> seasonality ->
+threshold -> SameRegressionMerger) and, when enabled, the long-term path
+(STL -> trend regression -> change point -> threshold).  Survivors are
+deduplicated by SOMDedup, filtered by cost-shift analysis, deduplicated
+again by PairwiseDedup, and finally root-caused.
+
+Per-stage survivor counts are kept in :class:`FunnelCounters`, which
+reproduces Table 3's "remaining anomalies after each technique" rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.core.change_point import ChangePointDetector
+from repro.core.cost_shift import CostShiftDetector
+from repro.core.dedup_pairwise import PairwiseDedup
+from repro.core.dedup_som import SOMDedup
+from repro.core.long_term import LongTermDetector
+from repro.core.planned_changes import PlannedChangeCorrelator
+from repro.core.root_cause import RootCauseAnalyzer
+from repro.core.same_regression import SameRegressionMerger
+from repro.core.seasonality import SeasonalityDetector
+from repro.core.types import (
+    DetectionVerdict,
+    FilterReason,
+    MetricContext,
+    Regression,
+    RegressionGroup,
+    RegressionKind,
+)
+from repro.core.went_away import WentAwayDetector
+from repro.fleet.changes import ChangeLog
+from repro.profiling.stacktrace import StackTrace
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.series import TimeSeries
+
+__all__ = ["FunnelCounters", "PipelineResult", "DetectionPipeline"]
+
+#: Canonical stage order, matching Table 3 rows.
+STAGES = (
+    "change_points",
+    "went_away",
+    "seasonality",
+    "threshold",
+    "same_regression",
+    "som_dedup",
+    "cost_shift",
+    "pairwise_dedup",
+)
+
+
+@dataclass
+class FunnelCounters:
+    """Survivor counts after each pipeline stage (Table 3).
+
+    ``counts[stage]`` is the number of candidates still alive *after*
+    the stage ran.  ``counts["change_points"]`` is the number detected.
+    """
+
+    counts: Dict[str, int] = field(default_factory=lambda: {s: 0 for s in STAGES})
+
+    def survived(self, stage: str, n: int = 1) -> None:
+        """Record ``n`` survivors of ``stage``.
+
+        Raises:
+            KeyError: On an unknown stage name.
+        """
+        if stage not in self.counts:
+            raise KeyError(f"unknown stage {stage!r}")
+        self.counts[stage] += n
+
+    def reduction_ratios(self) -> Dict[str, float]:
+        """Table 3's "1/N" view: detected count over survivors per stage.
+
+        Stages with zero survivors report ``inf``.
+        """
+        detected = self.counts["change_points"]
+        ratios = {}
+        for stage in STAGES:
+            alive = self.counts[stage]
+            ratios[stage] = detected / alive if alive else float("inf")
+        return ratios
+
+    def merge(self, other: "FunnelCounters") -> None:
+        for stage, count in other.counts.items():
+            self.counts[stage] = self.counts.get(stage, 0) + count
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one detection run.
+
+    Attributes:
+        reported: Final regressions presented to developers (group
+            representatives after all filtering and deduplication).
+        all_candidates: Every change-point candidate turned regression
+            (including later-filtered ones, each carrying its verdicts).
+        groups: PairwiseDedup groups touched this run.
+        funnel: Per-stage survivor counts.
+        now: The run's reference time.
+    """
+
+    reported: List[Regression]
+    all_candidates: List[Regression]
+    groups: List[RegressionGroup]
+    funnel: FunnelCounters
+    now: float
+
+
+class DetectionPipeline:
+    """Wires the Figure 6 stages together for one workload configuration.
+
+    Args:
+        config: Workload configuration (Table 1 row).
+        change_log: Change log for root-cause analysis, SOM features and
+            commit cost domains.
+        samples: Stack-trace history (cost shift, dedup, root cause).
+        series_filter: Optional tag filters selecting which series this
+            pipeline scans (e.g. ``{"service": "frontfaas"}``).
+        min_historic_points: Data-sufficiency floor for the baseline.
+        min_analysis_points: Data-sufficiency floor for the analysis
+            window.
+        planned_changes: Optional correlator suppressing regressions
+            explained by registered planned capacity changes (the
+            paper's §8 extension).
+        enable_went_away: Ablation switch for the went-away detector.
+        enable_seasonality: Ablation switch for the seasonality detector.
+        enable_cost_shift: Ablation switch for cost-shift analysis
+            (AdServing runs without it, per Table 3).
+        enable_som_dedup: Ablation switch for SOMDedup.
+        enable_pairwise_dedup: Ablation switch for PairwiseDedup.
+    """
+
+    def __init__(
+        self,
+        config: DetectionConfig,
+        change_log: Optional[ChangeLog] = None,
+        samples: Sequence[StackTrace] = (),
+        series_filter: Optional[Dict[str, str]] = None,
+        min_historic_points: int = 12,
+        min_analysis_points: int = 8,
+        planned_changes: Optional[PlannedChangeCorrelator] = None,
+        enable_went_away: bool = True,
+        enable_seasonality: bool = True,
+        enable_cost_shift: bool = True,
+        enable_som_dedup: bool = True,
+        enable_pairwise_dedup: bool = True,
+    ) -> None:
+        self.config = config
+        self.change_log = change_log if change_log is not None else ChangeLog()
+        self.samples = list(samples)
+        self.series_filter = dict(series_filter or {})
+        self.min_historic_points = min_historic_points
+        self.min_analysis_points = min_analysis_points
+        self.planned_changes = planned_changes
+        self.enable_went_away = enable_went_away
+        self.enable_seasonality = enable_seasonality
+        self.enable_cost_shift = enable_cost_shift
+        self.enable_som_dedup = enable_som_dedup
+        self.enable_pairwise_dedup = enable_pairwise_dedup
+
+        self.change_point_detector = ChangePointDetector()
+        self.went_away_detector = WentAwayDetector()
+        self.seasonality_detector = SeasonalityDetector(
+            known_period=config.seasonality_period
+        )
+        self.same_regression_merger = SameRegressionMerger(
+            time_tolerance=max(config.rerun_interval, 3600.0)
+        )
+        self.som_dedup = SOMDedup(change_log=self.change_log, samples=self.samples)
+        self.pairwise_dedup = PairwiseDedup(samples=self.samples)
+        self.long_term_detector = LongTermDetector(
+            threshold=config.threshold if not config.relative_threshold else 0.0,
+            known_period=config.seasonality_period,
+        )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self, database: TimeSeriesDatabase, now: float) -> PipelineResult:
+        """One periodic detection scan at reference time ``now``."""
+        funnel = FunnelCounters()
+        candidates: List[Regression] = []
+
+        for series in self._matching_series(database):
+            candidate = self._short_term(series, now, funnel)
+            if candidate is not None:
+                candidates.append(candidate)
+            if self.config.long_term:
+                long_candidate = self._long_term(series, now, funnel)
+                if long_candidate is not None:
+                    candidates.append(long_candidate)
+
+        survivors = [c for c in candidates if not c.verdicts or c.verdicts[-1].passed]
+
+        # SOMDedup: representatives continue, duplicates stop here.
+        if self.enable_som_dedup:
+            groups = self.som_dedup.deduplicate(survivors)
+            representatives = [g.representative for g in groups if g.representative]
+        else:
+            representatives = list(survivors)
+        funnel.survived("som_dedup", len(representatives))
+
+        # Cost-shift analysis on the surviving representatives.
+        if self.enable_cost_shift:
+            cost_shift = CostShiftDetector(
+                database, samples=self.samples, change_log=self.change_log
+            )
+            after_cost_shift: List[Regression] = []
+            for regression in representatives:
+                verdict = cost_shift.check(regression)
+                regression.record(verdict)
+                if verdict.passed:
+                    after_cost_shift.append(regression)
+        else:
+            after_cost_shift = representatives
+        funnel.survived("cost_shift", len(after_cost_shift))
+
+        # PairwiseDedup against groups from prior runs.
+        if self.enable_pairwise_dedup:
+            touched_groups = self.pairwise_dedup.process(after_cost_shift)
+            reported = [
+                regression
+                for regression in after_cost_shift
+                if regression.verdicts and regression.verdicts[-1].passed
+            ]
+        else:
+            touched_groups = []
+            reported = after_cost_shift
+        funnel.survived("pairwise_dedup", len(reported))
+
+        # Root-cause analysis for what gets reported.
+        analyzer = RootCauseAnalyzer(
+            self.change_log,
+            samples_before=self.samples,
+            samples_after=self.samples,
+        )
+        for regression in reported:
+            analyzer.analyze(regression)
+
+        return PipelineResult(
+            reported=reported,
+            all_candidates=candidates,
+            groups=touched_groups,
+            funnel=funnel,
+            now=now,
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _matching_series(self, database: TimeSeriesDatabase) -> List[TimeSeries]:
+        if self.series_filter:
+            return database.query(**self.series_filter)
+        return list(database)
+
+    def _oriented(self, values: np.ndarray) -> np.ndarray:
+        """Map values so that an increase always means a regression."""
+        return values if self.config.higher_is_worse else -values
+
+    def _short_term(
+        self, series: TimeSeries, now: float, funnel: FunnelCounters
+    ) -> Optional[Regression]:
+        windowed = self.config.windows.view(series, now)
+        if not windowed.has_minimum_data(
+            self.min_historic_points, self.min_analysis_points
+        ):
+            return None
+
+        oriented_analysis = self._oriented(windowed.analysis)
+        candidate = self.change_point_detector.detect_increase(oriented_analysis)
+        if candidate is None:
+            return None
+        funnel.survived("change_points")
+
+        context = MetricContext.from_tags(series.name, series.tags)
+        interval = (now - windowed.analysis_start) / max(
+            1, windowed.analysis.size + windowed.extended.size
+        )
+        regression = Regression(
+            context=context,
+            kind=RegressionKind.SHORT_TERM,
+            change_index=candidate.index,
+            change_time=windowed.analysis_start + candidate.index * interval,
+            mean_before=candidate.mean_before,
+            mean_after=candidate.mean_after,
+            window=self._oriented_view(windowed),
+            detected_at=now,
+        )
+
+        if self.enable_went_away:
+            verdict = self.went_away_detector.check(regression.window, candidate)
+            regression.record(verdict)
+            if not verdict.passed:
+                return regression
+        funnel.survived("went_away")
+
+        if self.enable_seasonality:
+            verdict = self.seasonality_detector.check(regression.window, candidate)
+            regression.record(verdict)
+            if not verdict.passed:
+                return regression
+        funnel.survived("seasonality")
+
+        if not self.config.exceeds_threshold(
+            candidate.magnitude, candidate.mean_before
+        ):
+            regression.record(
+                DetectionVerdict.drop(
+                    FilterReason.BELOW_THRESHOLD,
+                    detail=(
+                        f"magnitude {candidate.magnitude:.3g} below "
+                        f"threshold {self.config.threshold:.3g}"
+                    ),
+                )
+            )
+            return regression
+        funnel.survived("threshold")
+
+        if self.planned_changes is not None:
+            verdict = self.planned_changes.check(regression)
+            regression.record(verdict)
+            if not verdict.passed:
+                return regression
+
+        verdict = self.same_regression_merger.check(regression)
+        regression.record(verdict)
+        if not verdict.passed:
+            return regression
+        funnel.survived("same_regression")
+        return regression
+
+    def _long_term(
+        self, series: TimeSeries, now: float, funnel: FunnelCounters
+    ) -> Optional[Regression]:
+        windowed = self.config.windows.view(series, now)
+        if not windowed.has_minimum_data(
+            self.min_historic_points, self.min_analysis_points
+        ):
+            return None
+        context = MetricContext.from_tags(series.name, series.tags)
+        regression = self.long_term_detector.detect(
+            self._oriented_view(windowed), context, detected_at=now
+        )
+        if regression is None:
+            return None
+        funnel.survived("change_points")
+        # The long-term path has no went-away stage by design.  Absolute
+        # thresholds were enforced inside the detector; relative ones
+        # (which need the baseline) are checked here.
+        if not self.config.exceeds_threshold(
+            regression.magnitude, regression.mean_before
+        ):
+            regression.record(
+                DetectionVerdict.drop(
+                    FilterReason.BELOW_THRESHOLD,
+                    detail=(
+                        f"long-term magnitude {regression.magnitude:.3g} below "
+                        f"threshold {self.config.threshold:.3g}"
+                    ),
+                )
+            )
+            return regression
+        funnel.survived("threshold")
+        if self.planned_changes is not None:
+            verdict = self.planned_changes.check(regression)
+            regression.record(verdict)
+            if not verdict.passed:
+                return regression
+        verdict = self.same_regression_merger.check(regression)
+        regression.record(verdict)
+        if not verdict.passed:
+            return regression
+        funnel.survived("same_regression")
+        return regression
+
+    def _oriented_view(self, windowed):
+        """Apply metric orientation to a windowed view."""
+        if self.config.higher_is_worse:
+            return windowed
+        from dataclasses import replace
+
+        return replace(
+            windowed,
+            historic=-windowed.historic,
+            analysis=-windowed.analysis,
+            extended=-windowed.extended,
+        )

@@ -1,0 +1,38 @@
+"""Production-fleet simulator.
+
+Stands in for Meta's fleet: services composed of subroutine call graphs
+running on servers of mixed hardware generations, emitting stack-trace
+samples and service-level metrics, subject to code/configuration changes
+and transient production events (failures, load spikes, canaries, rolling
+updates, traffic shifts).
+
+The detection pipeline consumes only time series and stack samples, so
+this simulator reproduces the statistical structure the paper describes —
+per-subroutine variance decomposition (§2), transient false-positive
+sources (Figure 1(c)), cost-shift refactors (Figure 1(b)), and
+seasonality — without requiring a physical fleet.
+"""
+
+from repro.fleet.changes import ChangeEffect, ChangeLog, CodeChange, CostShift
+from repro.fleet.events import TransientEvent, TransientEventKind
+from repro.fleet.server import Server, ServerGeneration
+from repro.fleet.service import ServiceSpec
+from repro.fleet.simulator import FleetSimulator, SimulationResult
+from repro.fleet.subroutine import CallGraph, CallPath, SubroutineSpec
+
+__all__ = [
+    "CallGraph",
+    "CallPath",
+    "ChangeEffect",
+    "ChangeLog",
+    "CodeChange",
+    "CostShift",
+    "FleetSimulator",
+    "Server",
+    "ServerGeneration",
+    "ServiceSpec",
+    "SimulationResult",
+    "SubroutineSpec",
+    "TransientEvent",
+    "TransientEventKind",
+]

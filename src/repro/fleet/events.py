@@ -1,0 +1,87 @@
+"""Transient production events.
+
+The paper's Figure 1(c): "server failures, maintenance operations, load
+spikes, software rolling updates, canary tests, and traffic shifts, which
+can last from seconds to hours" create anomalies that *recover on their
+own* and must be filtered as false positives.  Each event kind perturbs
+different metrics for a bounded time window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["TransientEventKind", "TransientEvent"]
+
+
+class TransientEventKind(str, enum.Enum):
+    """The transient-issue taxonomy of §1."""
+
+    SERVER_FAILURE = "server_failure"
+    MAINTENANCE = "maintenance"
+    LOAD_SPIKE = "load_spike"
+    ROLLING_UPDATE = "rolling_update"
+    CANARY_TEST = "canary_test"
+    TRAFFIC_SHIFT = "traffic_shift"
+
+
+#: Multiplicative perturbations each event kind applies while active.
+#: Keys are metric kinds; values multiply the metric's clean value.
+_EVENT_PROFILES: Dict[TransientEventKind, Dict[str, float]] = {
+    TransientEventKind.SERVER_FAILURE: {"throughput": 0.55, "cpu": 1.10, "error_rate": 8.0},
+    TransientEventKind.MAINTENANCE: {"throughput": 0.75, "cpu": 0.90},
+    TransientEventKind.LOAD_SPIKE: {"throughput": 1.45, "cpu": 1.35, "latency": 1.6},
+    TransientEventKind.ROLLING_UPDATE: {"throughput": 0.85, "cpu": 1.15, "error_rate": 2.0},
+    TransientEventKind.CANARY_TEST: {"cpu": 1.08, "latency": 1.1},
+    TransientEventKind.TRAFFIC_SHIFT: {"throughput": 0.65, "cpu": 0.80},
+}
+
+
+@dataclass(frozen=True)
+class TransientEvent:
+    """A bounded-duration production perturbation.
+
+    Attributes:
+        kind: Event taxonomy entry.
+        start: Simulation time the event begins (seconds).
+        duration: How long it lasts (seconds) — "from seconds to hours".
+        intensity: Scales the deviation of each affected metric from 1.0;
+            1.0 applies the profile as-is, 0.5 halves the perturbation.
+    """
+
+    kind: TransientEventKind
+    start: float
+    duration: float
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.intensity < 0:
+            raise ValueError("intensity must be >= 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, time: float) -> bool:
+        """Whether the event is in progress at ``time``."""
+        return self.start <= time < self.end
+
+    def multiplier(self, metric: str, time: float) -> float:
+        """Perturbation multiplier for ``metric`` at ``time`` (1.0 if inactive).
+
+        The perturbation ramps down linearly over the event's final 20%
+        so recoveries look like production recoveries, not step edges.
+        """
+        if not self.active_at(time):
+            return 1.0
+        base = _EVENT_PROFILES[self.kind].get(metric, 1.0)
+        deviation = (base - 1.0) * self.intensity
+        ramp_start = self.start + 0.8 * self.duration
+        if time >= ramp_start:
+            remaining = (self.end - time) / (self.end - ramp_start)
+            deviation *= remaining
+        return 1.0 + deviation

@@ -1,0 +1,66 @@
+"""Servers and hardware generations.
+
+A hyperscale fleet mixes server generations with different performance
+characteristics; the paper's Figure 2 simulation models this as servers
+whose CPU-usage distributions differ in both mean and variance, and whose
+response to the *same* code change differs in magnitude (0.003% vs 0.007%
+in the paper's example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerGeneration", "Server"]
+
+
+@dataclass(frozen=True)
+class ServerGeneration:
+    """A hardware generation's performance profile.
+
+    Attributes:
+        name: Generation label, e.g. ``"gen-2019"``.
+        cpu_mean: Baseline mean CPU utilization fraction on this hardware
+            for a reference workload (e.g. 0.4 for 40%).
+        cpu_variance: Variance of per-sample CPU utilization.
+        regression_sensitivity: Multiplier applied to a code change's
+            nominal regression magnitude on this generation ("a code
+            change may perform differently across server generations").
+    """
+
+    name: str
+    cpu_mean: float
+    cpu_variance: float
+    regression_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cpu_mean <= 1:
+            raise ValueError("cpu_mean must be in [0, 1]")
+        if self.cpu_variance < 0:
+            raise ValueError("cpu_variance must be >= 0")
+        if self.regression_sensitivity <= 0:
+            raise ValueError("regression_sensitivity must be > 0")
+
+
+@dataclass
+class Server:
+    """One server of the fleet.
+
+    Attributes:
+        server_id: Unique id within the service.
+        generation: Hardware generation.
+        healthy: Whether the server currently serves traffic (failures
+            and maintenance toggle this).
+    """
+
+    server_id: int
+    generation: ServerGeneration
+    healthy: bool = True
+
+
+#: A plausible default mix of three generations.
+DEFAULT_GENERATIONS = (
+    ServerGeneration("gen-a", cpu_mean=0.40, cpu_variance=0.01, regression_sensitivity=0.6),
+    ServerGeneration("gen-b", cpu_mean=0.50, cpu_variance=0.015, regression_sensitivity=1.0),
+    ServerGeneration("gen-c", cpu_mean=0.60, cpu_variance=0.02, regression_sensitivity=1.4),
+)

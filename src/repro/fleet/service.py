@@ -1,0 +1,78 @@
+"""Service specification: call graph + fleet + workload shape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.server import DEFAULT_GENERATIONS, Server, ServerGeneration
+from repro.fleet.subroutine import CallGraph
+
+__all__ = ["ServiceSpec"]
+
+
+@dataclass
+class ServiceSpec:
+    """Everything the simulator needs to run one service.
+
+    Attributes:
+        name: Service name (series prefix).
+        call_graph: The subroutine call graph.
+        n_servers: Fleet size for this service (paper: 5 to >500k).
+        generations: Hardware generation mix; servers are assigned
+            round-robin across these.
+        base_throughput: Mean requests/second per server.
+        throughput_noise: Std-dev of per-interval throughput noise, as a
+            fraction of base throughput.
+        base_latency_ms: Mean request latency.
+        base_error_rate: Mean error fraction.
+        seasonality_period: Diurnal period in seconds (0 disables).
+        seasonality_amplitude: Peak-to-mean seasonal swing as a fraction
+            (applied to throughput and CPU).
+        samples_per_interval: Explicit stack-trace samples generated per
+            collection interval (structure analyses: cost shift, root
+            cause, stack overlap).
+        effective_samples: Effective fleet-wide sample count per interval
+            used for the gCPU noise model.  At hyperscale the fleet takes
+            millions of samples per window; generating each as an object
+            is wasteful, so gCPU points are drawn from the exact binomial
+            sampling distribution ``Binomial(n, p)/n`` instead — the same
+            statistics at simulation cost O(#subroutines).
+    """
+
+    name: str
+    call_graph: CallGraph
+    n_servers: int = 100
+    generations: Sequence[ServerGeneration] = DEFAULT_GENERATIONS
+    base_throughput: float = 100.0
+    throughput_noise: float = 0.05
+    base_latency_ms: float = 20.0
+    base_error_rate: float = 0.001
+    seasonality_period: float = 86_400.0
+    seasonality_amplitude: float = 0.0
+    samples_per_interval: int = 1_000
+    effective_samples: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if not self.generations:
+            raise ValueError("at least one server generation required")
+        if self.effective_samples <= 0 or self.samples_per_interval < 0:
+            raise ValueError("sample counts must be positive")
+
+    def build_servers(self) -> List[Server]:
+        """Instantiate the fleet, assigning generations round-robin."""
+        return [
+            Server(server_id=i, generation=self.generations[i % len(self.generations)])
+            for i in range(self.n_servers)
+        ]
+
+    def seasonal_multiplier(self, time: float) -> float:
+        """Diurnal multiplier at ``time`` (1.0 when seasonality disabled)."""
+        if self.seasonality_period <= 0 or self.seasonality_amplitude == 0:
+            return 1.0
+        phase = 2.0 * np.pi * (time % self.seasonality_period) / self.seasonality_period
+        return 1.0 + self.seasonality_amplitude * float(np.sin(phase))

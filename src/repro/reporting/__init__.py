@@ -1,0 +1,20 @@
+"""Reporting: developer-facing incident reports and funnel summaries."""
+
+from repro.reporting.funnel import format_funnel_table, funnel_rows
+from repro.reporting.investigation import (
+    StackInvestigation,
+    format_investigation,
+    investigate_regression,
+)
+from repro.reporting.report import IncidentReport, build_report, format_report
+
+__all__ = [
+    "IncidentReport",
+    "StackInvestigation",
+    "build_report",
+    "format_funnel_table",
+    "format_investigation",
+    "format_report",
+    "funnel_rows",
+    "investigate_regression",
+]

@@ -1,0 +1,84 @@
+"""Investigation aids attached to incident reports.
+
+Given a reported regression and the raw stack-sample history, builds the
+before/after differential stack view a developer would pull up first:
+which call paths gained relative CPU across the change point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.types import Regression
+from repro.profiling.aggregate import FrameDiff, StackTrie, diff_tries
+from repro.profiling.stacktrace import StackTrace
+
+__all__ = ["StackInvestigation", "investigate_regression", "format_investigation"]
+
+
+@dataclass(frozen=True)
+class StackInvestigation:
+    """The differential stack view around a regression.
+
+    Attributes:
+        top_gainers: Paths that gained the most relative weight.
+        top_losers: Paths that lost the most (cost-shift sources show
+            up here).
+        regressed_path_delta: Relative-weight change of paths containing
+            the regressed subroutine, when known.
+    """
+
+    top_gainers: Tuple[FrameDiff, ...]
+    top_losers: Tuple[FrameDiff, ...]
+    regressed_path_delta: float
+
+
+def investigate_regression(
+    regression: Regression,
+    samples_before: Sequence[StackTrace],
+    samples_after: Sequence[StackTrace],
+    k: int = 5,
+) -> StackInvestigation:
+    """Build the before/after stack differential for a regression.
+
+    Args:
+        regression: The reported regression.
+        samples_before: Stack samples from before its change point.
+        samples_after: Stack samples from after it.
+        k: Paths to keep per direction.
+    """
+    before = StackTrie().add_all(samples_before)
+    after = StackTrie().add_all(samples_after)
+    diffs = diff_tries(before, after)
+
+    gainers = tuple(d for d in diffs if d.delta > 0)[:k]
+    losers = tuple(d for d in diffs if d.delta < 0)[:k]
+
+    target = regression.context.subroutine
+    regressed_delta = 0.0
+    if target is not None:
+        candidates = [d for d in diffs if d.path and d.path[-1] == target]
+        if candidates:
+            regressed_delta = max(candidates, key=lambda d: abs(d.delta)).delta
+    return StackInvestigation(
+        top_gainers=gainers,
+        top_losers=losers,
+        regressed_path_delta=regressed_delta,
+    )
+
+
+def format_investigation(investigation: StackInvestigation) -> str:
+    """Render the differential view for the ticket body."""
+    lines = ["differential stack view (relative weight, after - before):"]
+    if investigation.top_gainers:
+        lines.append("  gained:")
+        for diff in investigation.top_gainers:
+            lines.append(f"    {'->'.join(diff.path):60s} {diff.delta:+.4f}")
+    if investigation.top_losers:
+        lines.append("  lost:")
+        for diff in investigation.top_losers:
+            lines.append(f"    {'->'.join(diff.path):60s} {diff.delta:+.4f}")
+    if not investigation.top_gainers and not investigation.top_losers:
+        lines.append("  (no significant movement)")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Developer-facing incident reports.
+
+FBDetect files a ticket per reported regression; the ticket carries the
+regressed metric, magnitude, timing, the filter audit trail, and ranked
+root-cause candidates so the assigned developer can investigate quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.types import Regression, RootCauseScore
+
+__all__ = ["IncidentReport", "build_report", "format_report"]
+
+
+@dataclass(frozen=True)
+class IncidentReport:
+    """One ticket's worth of regression context.
+
+    Attributes:
+        metric_id: Regressed metric.
+        service: Owning service.
+        kind: Detection path (short/long term).
+        change_time: When the regression began.
+        detected_at: When FBDetect reported it.
+        magnitude: Absolute mean shift.
+        relative_magnitude: Shift relative to baseline.
+        baseline: Pre-change mean.
+        root_causes: Ranked candidate changes.
+        audit_trail: Human-readable filter-stage outcomes.
+        group_id: Deduplication group.
+    """
+
+    metric_id: str
+    service: str
+    kind: str
+    change_time: float
+    detected_at: float
+    magnitude: float
+    relative_magnitude: float
+    baseline: float
+    root_causes: List[RootCauseScore] = field(default_factory=list)
+    audit_trail: List[str] = field(default_factory=list)
+    group_id: Optional[int] = None
+
+    @property
+    def detection_latency(self) -> float:
+        """Seconds between the regression starting and being reported."""
+        return max(0.0, self.detected_at - self.change_time)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for sinks and APIs)."""
+        return {
+            "metric_id": self.metric_id,
+            "service": self.service,
+            "kind": self.kind,
+            "change_time": self.change_time,
+            "detected_at": self.detected_at,
+            "detection_latency": self.detection_latency,
+            "magnitude": self.magnitude,
+            "relative_magnitude": self.relative_magnitude,
+            "baseline": self.baseline,
+            "group_id": self.group_id,
+            "root_causes": [
+                {
+                    "change_id": candidate.change_id,
+                    "score": candidate.score,
+                    "factors": dict(candidate.factors),
+                }
+                for candidate in self.root_causes
+            ],
+            "audit_trail": list(self.audit_trail),
+        }
+
+
+def build_report(regression: Regression) -> IncidentReport:
+    """Materialize an :class:`IncidentReport` from a regression."""
+    audit = []
+    for verdict in regression.verdicts:
+        status = "pass" if verdict.passed else f"drop({verdict.reason.value})"
+        audit.append(f"{status}: {verdict.detail}" if verdict.detail else status)
+    relative = regression.relative_magnitude
+    return IncidentReport(
+        metric_id=regression.context.metric_id,
+        service=regression.context.service,
+        kind=regression.kind.value,
+        change_time=regression.change_time,
+        detected_at=regression.detected_at,
+        magnitude=regression.magnitude,
+        relative_magnitude=relative if relative != float("inf") else 0.0,
+        baseline=regression.mean_before,
+        root_causes=list(regression.root_cause_candidates),
+        audit_trail=audit,
+        group_id=regression.group_id,
+    )
+
+
+def format_report(report: IncidentReport) -> str:
+    """Render a report as the plain-text ticket body."""
+    lines = [
+        f"Performance regression in {report.metric_id}",
+        f"  service:   {report.service or '(unknown)'}",
+        f"  path:      {report.kind}",
+        f"  magnitude: {report.magnitude:+.6g} "
+        f"({report.relative_magnitude * 100:.3g}% of baseline {report.baseline:.6g})",
+        f"  began at:  t={report.change_time:.0f}s, reported at t={report.detected_at:.0f}s "
+        f"(latency {report.detection_latency:.0f}s)",
+    ]
+    if report.root_causes:
+        lines.append("  root-cause candidates:")
+        for rank, candidate in enumerate(report.root_causes, start=1):
+            factors = ", ".join(f"{k}={v:.2f}" for k, v in sorted(candidate.factors.items()))
+            lines.append(f"    {rank}. {candidate.change_id} (score {candidate.score:.2f}; {factors})")
+    else:
+        lines.append("  root-cause candidates: none with sufficient confidence")
+    if report.audit_trail:
+        lines.append("  filter audit trail:")
+        lines.extend(f"    - {entry}" for entry in report.audit_trail)
+    return "\n".join(lines)

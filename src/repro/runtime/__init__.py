@@ -1,0 +1,22 @@
+"""Detection runtime: the always-on monitoring service.
+
+"For ease of operation, FBDetect runs on a common serverless platform at
+Meta, scanning different time series in parallel" (§5.1).  This package
+provides that operational layer: a scheduler that owns many registered
+monitors (one per service/configuration pair), runs their periodic scans
+in parallel worker threads, applies TSDB retention, and delivers
+incident reports to pluggable sinks.
+"""
+
+from repro.runtime.scheduler import DetectionScheduler, MonitorRegistration, ScanOutcome
+from repro.runtime.sinks import CollectingSink, IncidentSink, JsonLinesSink, LoggingSink
+
+__all__ = [
+    "CollectingSink",
+    "DetectionScheduler",
+    "IncidentSink",
+    "JsonLinesSink",
+    "LoggingSink",
+    "MonitorRegistration",
+    "ScanOutcome",
+]

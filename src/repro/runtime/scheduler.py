@@ -1,0 +1,202 @@
+"""The detection scheduler.
+
+Owns many monitors — each a (name, detection config, series filter)
+triple with its own persistent :class:`~repro.core.detector.FBDetect`
+state — and advances simulated time, running every monitor whose re-run
+interval has elapsed.  Scans within one tick execute in parallel worker
+threads, mirroring the paper's serverless deployment that scans
+different time series in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import DetectionConfig
+from repro.core.detector import FBDetect
+from repro.core.pipeline import PipelineResult
+from repro.fleet.changes import ChangeLog
+from repro.profiling.stacktrace import StackTrace
+from repro.reporting.report import build_report
+from repro.runtime.sinks import IncidentSink
+from repro.tsdb.database import TimeSeriesDatabase
+
+__all__ = ["MonitorRegistration", "ScanOutcome", "DetectionScheduler"]
+
+
+@dataclass
+class MonitorRegistration:
+    """One registered monitor.
+
+    Attributes:
+        name: Monitor label (shows up in outcomes).
+        detector: The FBDetect instance (holds dedup state across scans).
+        next_run: Simulated time of the next scheduled scan.
+    """
+
+    name: str
+    detector: FBDetect
+    next_run: float
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """Result of one monitor scan."""
+
+    monitor: str
+    now: float
+    result: PipelineResult
+
+    @property
+    def reported_count(self) -> int:
+        return len(self.result.reported)
+
+
+class DetectionScheduler:
+    """Runs registered monitors against a shared TSDB over time.
+
+    Args:
+        database: The TSDB all monitors scan.
+        sinks: Incident sinks notified for every reported regression.
+        max_workers: Parallel scan threads.
+        retention: Seconds of history to keep; older points are dropped
+            as time advances (0 disables retention).
+
+    Example::
+
+        scheduler = DetectionScheduler(db, sinks=[CollectingSink()])
+        scheduler.register("frontfaas", table1_config("frontfaas_small"),
+                           series_filter={"service": "frontfaas"})
+        outcomes = scheduler.advance_to(simulation_end)
+    """
+
+    def __init__(
+        self,
+        database: TimeSeriesDatabase,
+        sinks: Sequence[IncidentSink] = (),
+        max_workers: int = 4,
+        retention: float = 0.0,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if retention < 0:
+            raise ValueError("retention must be >= 0")
+        self.database = database
+        self.sinks = list(sinks)
+        self.max_workers = max_workers
+        self.retention = retention
+        self._monitors: Dict[str, MonitorRegistration] = {}
+        self._clock = 0.0
+        self._lock = threading.Lock()
+        self.outcomes: List[ScanOutcome] = []
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def register(
+        self,
+        name: str,
+        config: DetectionConfig,
+        series_filter: Optional[Dict[str, str]] = None,
+        change_log: Optional[ChangeLog] = None,
+        samples: Sequence[StackTrace] = (),
+        first_run: Optional[float] = None,
+        **detector_kwargs,
+    ) -> MonitorRegistration:
+        """Register a monitor; its first scan happens at ``first_run``
+        (default: one full window after time zero, when enough data
+        exists).  Extra keyword arguments reach the underlying
+        :class:`DetectionPipeline` (ablation switches,
+        ``planned_changes`` ...).
+
+        Raises:
+            ValueError: On a duplicate monitor name.
+        """
+        if name in self._monitors:
+            raise ValueError(f"monitor {name!r} already registered")
+        detector = FBDetect(
+            config,
+            change_log=change_log,
+            samples=samples,
+            series_filter=series_filter,
+            **detector_kwargs,
+        )
+        registration = MonitorRegistration(
+            name=name,
+            detector=detector,
+            next_run=first_run if first_run is not None else config.windows.total,
+        )
+        self._monitors[name] = registration
+        return registration
+
+    def unregister(self, name: str) -> bool:
+        """Remove a monitor; returns whether it existed."""
+        return self._monitors.pop(name, None) is not None
+
+    def monitors(self) -> List[str]:
+        """Registered monitor names, sorted."""
+        return sorted(self._monitors)
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+
+    def advance_to(self, target: float) -> List[ScanOutcome]:
+        """Advance simulated time to ``target``, running due scans.
+
+        Scans due at the same instant run in parallel; a monitor's next
+        run is scheduled one re-run interval after the current one.
+
+        Returns:
+            Outcomes of every scan executed, in completion order.
+
+        Raises:
+            ValueError: When moving backwards in time.
+        """
+        if target < self._clock:
+            raise ValueError(f"cannot move time backwards ({target} < {self._clock})")
+        executed: List[ScanOutcome] = []
+
+        while True:
+            due_time = min(
+                (m.next_run for m in self._monitors.values() if m.next_run <= target),
+                default=None,
+            )
+            if due_time is None:
+                break
+            self._clock = due_time
+            due = [m for m in self._monitors.values() if m.next_run == due_time]
+            executed.extend(self._run_batch(due, due_time))
+            for monitor in due:
+                monitor.next_run = due_time + monitor.detector.config.rerun_interval
+            if self.retention > 0:
+                self.database.apply_retention(due_time - self.retention)
+
+        self._clock = max(self._clock, target)
+        return executed
+
+    def _run_batch(
+        self, monitors: Sequence[MonitorRegistration], now: float
+    ) -> List[ScanOutcome]:
+        outcomes: List[ScanOutcome] = []
+
+        def scan(monitor: MonitorRegistration) -> ScanOutcome:
+            result = monitor.detector.run(self.database, now)
+            return ScanOutcome(monitor=monitor.name, now=now, result=result)
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            for outcome in pool.map(scan, monitors):
+                outcomes.append(outcome)
+
+        with self._lock:
+            self.outcomes.extend(outcomes)
+        for outcome in outcomes:
+            for regression in outcome.result.reported:
+                report = build_report(regression)
+                for sink in self.sinks:
+                    sink.deliver(report)
+        return outcomes

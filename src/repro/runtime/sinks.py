@@ -1,0 +1,78 @@
+"""Incident-report sinks.
+
+A sink receives the :class:`~repro.reporting.report.IncidentReport` for
+every regression the scheduler's monitors report — the integration point
+for ticket filing, paging, or test collection.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import logging
+import threading
+from typing import IO, List, Optional, Union
+
+from repro.reporting.report import IncidentReport, format_report
+
+__all__ = ["IncidentSink", "CollectingSink", "LoggingSink", "JsonLinesSink"]
+
+
+class IncidentSink(abc.ABC):
+    """Receives incident reports as monitors produce them."""
+
+    @abc.abstractmethod
+    def deliver(self, report: IncidentReport) -> None:
+        """Handle one report (file a ticket, page, record ...)."""
+
+
+class CollectingSink(IncidentSink):
+    """Accumulates reports in memory (tests, batch analysis)."""
+
+    def __init__(self) -> None:
+        self.reports: List[IncidentReport] = []
+
+    def deliver(self, report: IncidentReport) -> None:
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+class LoggingSink(IncidentSink):
+    """Writes formatted reports to a logger (default: ``repro.runtime``)."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None) -> None:
+        self._logger = logger or logging.getLogger("repro.runtime")
+
+    def deliver(self, report: IncidentReport) -> None:
+        self._logger.warning("%s", format_report(report))
+
+
+class JsonLinesSink(IncidentSink):
+    """Appends one JSON object per report to a file (or file-like).
+
+    The durable integration format: downstream ticketing/alerting
+    systems tail the file.  Writes are line-atomic under a lock so the
+    scheduler's parallel scans can share one sink.
+    """
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(destination, str):
+            self._path: Optional[str] = destination
+            self._stream: Optional[IO[str]] = None
+        else:
+            self._path = None
+            self._stream = destination
+
+    def deliver(self, report: IncidentReport) -> None:
+        line = json.dumps(report.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._stream is not None:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            else:
+                assert self._path is not None
+                with open(self._path, "a", encoding="utf-8") as sink:
+                    sink.write(line + "\n")

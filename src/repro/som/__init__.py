@@ -1,0 +1,5 @@
+"""Self-Organizing Map clustering (SOMDedup's engine, §5.5.1)."""
+
+from repro.som.som import SelfOrganizingMap, som_cluster, som_grid_size
+
+__all__ = ["SelfOrganizingMap", "som_cluster", "som_grid_size"]

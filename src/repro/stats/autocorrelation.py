@@ -1,0 +1,99 @@
+"""Autocorrelation-based seasonality presence detection.
+
+The seasonality detector first asks whether seasonality is present at all:
+"FBDetect applies an autocorrelation function and checks if the correlation
+is significant" (§5.2.3).  Only when it is does the (more expensive) STL
+decomposition run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["acf", "detect_season_length", "has_significant_seasonality"]
+
+
+def acf(values: Sequence[float], max_lag: Optional[int] = None) -> np.ndarray:
+    """Sample autocorrelation function.
+
+    Args:
+        values: The time series.
+        max_lag: Largest lag to compute; defaults to ``n // 2``.
+
+    Returns:
+        Array of autocorrelations for lags ``0..max_lag`` (``acf[0] == 1``
+        for any non-constant series).
+    """
+    x = np.asarray(values, dtype=float)
+    n = x.size
+    if n == 0:
+        return np.empty(0)
+    if max_lag is None:
+        max_lag = n // 2
+    max_lag = min(max_lag, n - 1)
+
+    x = x - x.mean()
+    denom = float((x * x).sum())
+    if denom <= 0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+
+    result = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        result[lag] = float((x[: n - lag] * x[lag:]).sum()) / denom
+    return result
+
+
+def detect_season_length(
+    values: Sequence[float],
+    min_period: int = 2,
+    max_period: Optional[int] = None,
+    significance: Optional[float] = None,
+) -> Optional[int]:
+    """Find the dominant season length via the first significant ACF peak.
+
+    A lag is a seasonality candidate when it is a local maximum of the ACF
+    and its correlation exceeds the large-sample significance bound
+    ``z / sqrt(n)`` (z=1.96 for 5%), or the caller-provided threshold.
+
+    Args:
+        values: The time series.
+        min_period: Smallest admissible period.
+        max_period: Largest admissible period; defaults to ``n // 2``.
+        significance: Absolute correlation threshold; defaults to the
+            large-sample 5% bound.
+
+    Returns:
+        The detected period, or ``None`` when no significant peak exists.
+    """
+    x = np.asarray(values, dtype=float)
+    n = x.size
+    if n < 2 * min_period:
+        return None
+    if max_period is None:
+        max_period = n // 2
+    threshold = significance if significance is not None else 1.96 / np.sqrt(n)
+
+    correlations = acf(x, max_lag=max_period)
+    best_lag, best_corr = None, threshold
+    for lag in range(min_period, min(max_period, correlations.size - 1)):
+        c = correlations[lag]
+        if c <= best_corr:
+            continue
+        left = correlations[lag - 1]
+        right = correlations[lag + 1] if lag + 1 < correlations.size else -np.inf
+        if c >= left and c >= right:
+            best_lag, best_corr = lag, c
+    return best_lag
+
+
+def has_significant_seasonality(
+    values: Sequence[float],
+    min_period: int = 2,
+    max_period: Optional[int] = None,
+) -> bool:
+    """Whether the series shows a statistically significant periodic ACF peak."""
+    return detect_season_length(values, min_period=min_period, max_period=max_period) is not None

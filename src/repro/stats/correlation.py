@@ -1,0 +1,58 @@
+"""Pearson correlation with time-alignment helpers.
+
+Used by PairwiseDedup (§5.5.2) to score time-series similarity between
+regressions, and by root-cause analysis (§5.6) to correlate setup metrics
+with a regression's timing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["pearson", "aligned_pearson"]
+
+
+def pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length series.
+
+    Returns 0.0 when either series is constant (correlation undefined).
+
+    Raises:
+        ValueError: On length mismatch or fewer than 2 points.
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("pearson requires at least 2 points")
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def aligned_pearson(
+    a: Mapping[float, float],
+    b: Mapping[float, float],
+    min_overlap: int = 3,
+) -> float:
+    """Pearson correlation over the timestamps two series share.
+
+    Production series rarely sample at identical instants; this aligns two
+    ``{timestamp: value}`` mappings on their common timestamps first.
+
+    Args:
+        a: First series as a timestamp-to-value mapping.
+        b: Second series.
+        min_overlap: Minimum shared timestamps for a meaningful score.
+
+    Returns:
+        The correlation, or 0.0 when overlap is insufficient.
+    """
+    shared = sorted(set(a) & set(b))
+    if len(shared) < min_overlap:
+        return 0.0
+    return pearson([a[t] for t in shared], [b[t] for t in shared])

@@ -1,0 +1,91 @@
+"""Mann-Kendall non-parametric trend test.
+
+The went-away detector (§5.2.2) uses Mann-Kendall to check whether the tail
+of a regression shows a decreasing trend (possible recovery) and whether
+the post-regression window shows a lasting monotonic upward trend.
+
+The test statistic is ``S = sum_{i<j} sign(x_j - x_i)``; under H0 (no
+trend), S is approximately normal with mean 0 and a variance that accounts
+for tied values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sp_stats
+
+__all__ = ["MannKendallResult", "mann_kendall_test"]
+
+
+@dataclass(frozen=True)
+class MannKendallResult:
+    """Outcome of a Mann-Kendall trend test.
+
+    Attributes:
+        s: Raw Mann-Kendall S statistic.
+        z: Normal-approximation z score (continuity corrected).
+        p_value: Two-sided p-value.
+        trend: ``"increasing"``, ``"decreasing"``, or ``"no trend"`` at the
+            requested significance level.
+    """
+
+    s: int
+    z: float
+    p_value: float
+    trend: str
+
+    @property
+    def is_increasing(self) -> bool:
+        return self.trend == "increasing"
+
+    @property
+    def is_decreasing(self) -> bool:
+        return self.trend == "decreasing"
+
+
+def mann_kendall_test(
+    values: Sequence[float],
+    significance_level: float = 0.05,
+) -> MannKendallResult:
+    """Run the Mann-Kendall trend test.
+
+    Args:
+        values: The series to test (at least 3 points for a meaningful
+            result; shorter series report "no trend").
+        significance_level: Two-sided rejection level.
+
+    Returns:
+        A :class:`MannKendallResult` with the detected trend direction.
+    """
+    x = np.asarray(values, dtype=float)
+    n = x.size
+    if n < 3:
+        return MannKendallResult(s=0, z=0.0, p_value=1.0, trend="no trend")
+
+    # S = number of concordant minus discordant pairs.
+    diffs = np.sign(x[None, :] - x[:, None])
+    s = int(np.triu(diffs, k=1).sum())
+
+    # Variance with tie correction.
+    _, counts = np.unique(x, return_counts=True)
+    tie_term = float((counts * (counts - 1) * (2 * counts + 5)).sum())
+    var_s = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
+    if var_s <= 0:
+        return MannKendallResult(s=s, z=0.0, p_value=1.0, trend="no trend")
+
+    if s > 0:
+        z = (s - 1) / np.sqrt(var_s)
+    elif s < 0:
+        z = (s + 1) / np.sqrt(var_s)
+    else:
+        z = 0.0
+
+    p_value = float(2.0 * sp_stats.norm.sf(abs(z)))
+    if p_value < significance_level:
+        trend = "increasing" if z > 0 else "decreasing"
+    else:
+        trend = "no trend"
+    return MannKendallResult(s=s, z=float(z), p_value=p_value, trend=trend)

@@ -1,0 +1,185 @@
+"""Loess smoothing and Seasonal-Trend decomposition using Loess (STL).
+
+The seasonality detector (§5.2.3) and the long-term detection path (§5.3)
+decompose a time series into seasonality + trend + residual with STL
+[Cleveland et al. 1990].  This is a self-contained implementation:
+
+- :func:`loess_smooth` — locally weighted linear regression with the
+  classic tricube kernel.
+- :func:`stl_decompose` — the inner STL loop: cycle-subseries smoothing
+  for the seasonal component, low-pass filtering to de-trend it, and
+  loess smoothing of the deseasonalized series for the trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["STLResult", "loess_smooth", "stl_decompose"]
+
+
+@dataclass(frozen=True)
+class STLResult:
+    """An additive decomposition ``observed = seasonal + trend + residual``.
+
+    Attributes:
+        seasonal: Periodic component.
+        trend: Slowly varying component.
+        residual: Remainder.
+        period: Season length used for the decomposition.
+    """
+
+    seasonal: np.ndarray
+    trend: np.ndarray
+    residual: np.ndarray
+    period: int
+
+    @property
+    def deseasonalized(self) -> np.ndarray:
+        """Trend + residual — the series with seasonality removed."""
+        return self.trend + self.residual
+
+
+def loess_smooth(
+    values: Sequence[float],
+    span: float = 0.3,
+    degree: int = 1,
+) -> np.ndarray:
+    """Loess-smooth a series with the tricube kernel.
+
+    Args:
+        values: The series to smooth.
+        span: Fraction of points in each local window (0 < span <= 1).
+        degree: Local polynomial degree, 0 (weighted mean) or 1 (weighted
+            linear fit).
+
+    Returns:
+        The smoothed series, same length as the input.
+
+    Raises:
+        ValueError: On an invalid span or degree.
+    """
+    if not 0 < span <= 1:
+        raise ValueError("span must be in (0, 1]")
+    if degree not in (0, 1):
+        raise ValueError("degree must be 0 or 1")
+
+    y = np.asarray(values, dtype=float)
+    n = y.size
+    if n == 0:
+        return np.empty(0)
+    window = max(2 if degree == 1 else 1, int(np.ceil(span * n)))
+    if window >= n:
+        window = n
+
+    x = np.arange(n, dtype=float)
+    smoothed = np.empty(n)
+    half = window // 2
+    for i in range(n):
+        lo = int(np.clip(i - half, 0, n - window))
+        hi = lo + window
+        xs, ys = x[lo:hi], y[lo:hi]
+        dist = np.abs(xs - i)
+        max_dist = dist.max()
+        if max_dist == 0:
+            smoothed[i] = ys.mean()
+            continue
+        w = (1 - (dist / max_dist) ** 3) ** 3
+        w = np.maximum(w, 1e-6)
+        if degree == 0:
+            smoothed[i] = float(np.average(ys, weights=w))
+        else:
+            # Weighted least squares for a local line, evaluated at i.
+            sw = w.sum()
+            xm = float((w * xs).sum() / sw)
+            ym = float((w * ys).sum() / sw)
+            sxx = float((w * (xs - xm) ** 2).sum())
+            if sxx < 1e-12:
+                smoothed[i] = ym
+            else:
+                slope = float((w * (xs - xm) * (ys - ym)).sum() / sxx)
+                smoothed[i] = ym + slope * (i - xm)
+    return smoothed
+
+
+def _cycle_subseries_means(y: np.ndarray, period: int) -> np.ndarray:
+    """Smooth each cycle-subseries by its mean, tiled back to full length.
+
+    A simplified cycle-subseries smoother: the classic STL loess over each
+    subseries degenerates to the subseries mean when the seasonal window
+    is large ("periodic" mode), which is what regression detection wants —
+    a stable seasonal profile rather than one that tracks anomalies.
+    """
+    n = y.size
+    seasonal = np.empty(n)
+    for phase in range(period):
+        idx = np.arange(phase, n, period)
+        seasonal[idx] = y[idx].mean()
+    return seasonal
+
+
+def _moving_average(y: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge padding."""
+    if window <= 1:
+        return y.copy()
+    pad = window // 2
+    padded = np.concatenate([np.full(pad, y[0]), y, np.full(window - 1 - pad, y[-1])])
+    kernel = np.full(window, 1.0 / window)
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def stl_decompose(
+    values: Sequence[float],
+    period: int,
+    iterations: int = 2,
+    trend_span: float = 0.4,
+) -> STLResult:
+    """Decompose ``values`` into seasonal, trend, and residual components.
+
+    Implements the inner STL loop with a periodic seasonal smoother:
+
+    1. Detrend: ``d = y - trend``.
+    2. Seasonal: cycle-subseries means of ``d``, then remove any residual
+       trend in the seasonal component with a ``period``-wide low-pass
+       (moving-average) filter and center it.
+    3. Trend: loess-smooth the deseasonalized series.
+
+    Args:
+        values: The series to decompose; must contain at least two full
+            periods.
+        period: Season length in samples.
+        iterations: Number of inner-loop passes (2 is the STL default).
+        trend_span: Loess span for the trend smoother.
+
+    Returns:
+        An :class:`STLResult`.
+
+    Raises:
+        ValueError: If ``period < 2`` or the series is shorter than two
+            periods.
+    """
+    y = np.asarray(values, dtype=float)
+    n = y.size
+    if period < 2:
+        raise ValueError("period must be >= 2")
+    if n < 2 * period:
+        raise ValueError(f"need >= 2 periods ({2 * period} points), got {n}")
+
+    trend = np.zeros(n)
+    seasonal = np.zeros(n)
+    for _ in range(max(1, iterations)):
+        detrended = y - trend
+        raw_seasonal = _cycle_subseries_means(detrended, period)
+        # Low-pass the seasonal estimate so leftover trend moves to the
+        # trend component, then center the season at zero mean.
+        low_pass = _moving_average(raw_seasonal, period)
+        seasonal = raw_seasonal - low_pass
+        seasonal -= seasonal.mean()
+        deseasonalized = y - seasonal
+        trend = loess_smooth(deseasonalized, span=trend_span, degree=1)
+
+    residual = y - seasonal - trend
+    return STLResult(seasonal=seasonal, trend=trend, residual=residual, period=period)

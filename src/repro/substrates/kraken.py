@@ -1,0 +1,165 @@
+"""A Kraken-style load tester.
+
+Kraken [Veeraraghavan et al., OSDI '16] finds a service's per-server
+maximum throughput by shifting live traffic onto test servers until a
+health metric (latency, error rate) degrades past a limit.  Capacity
+Triage (§3) relies on it: an unexpected drop in measured max throughput
+is a supply-side regression.
+
+:class:`KrakenLoadTester` reproduces the control loop against a
+:class:`ThroughputModel` — a latency/error model of one server with a
+capacity knee — ramping offered load until health limits trip, then
+reporting the sustained maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.tsdb.database import TimeSeriesDatabase
+
+__all__ = ["ThroughputModel", "LoadTestResult", "KrakenLoadTester"]
+
+
+@dataclass
+class ThroughputModel:
+    """A single server's response to offered load.
+
+    Latency follows an M/M/1-style blow-up near capacity; errors appear
+    past saturation.  A code regression reduces ``capacity``.
+
+    Attributes:
+        capacity: Requests/second the server can sustain.
+        base_latency_ms: Latency at negligible load.
+        error_knee: Fraction of capacity beyond which errors grow.
+    """
+
+    capacity: float
+    base_latency_ms: float = 5.0
+    error_knee: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    def latency_ms(self, offered_rps: float, rng: Optional[np.random.Generator] = None) -> float:
+        """Mean latency at ``offered_rps`` (noisy when ``rng`` given)."""
+        utilization = min(offered_rps / self.capacity, 0.999)
+        latency = self.base_latency_ms / (1.0 - utilization)
+        if rng is not None:
+            latency *= 1.0 + abs(float(rng.normal(0.0, 0.03)))
+        return latency
+
+    def error_rate(self, offered_rps: float) -> float:
+        """Error fraction at ``offered_rps`` (0 below the knee)."""
+        knee_rps = self.error_knee * self.capacity
+        if offered_rps <= knee_rps:
+            return 0.0
+        overload = (offered_rps - knee_rps) / max(self.capacity - knee_rps, 1e-9)
+        return min(1.0, 0.5 * overload)
+
+    def regress(self, factor: float) -> None:
+        """Shrink capacity by ``factor`` (0.9 = lose 10%).
+
+        Raises:
+            ValueError: Unless ``0 < factor <= 1``.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        self.capacity *= factor
+
+
+@dataclass(frozen=True)
+class LoadTestResult:
+    """Outcome of one Kraken run against one server.
+
+    Attributes:
+        max_throughput: Highest offered load sustained within limits.
+        limiting_metric: Which health limit stopped the ramp
+            (``"latency"``, ``"error_rate"``, or ``"ceiling"``).
+        steps: Offered loads probed, in order.
+    """
+
+    max_throughput: float
+    limiting_metric: str
+    steps: List[float]
+
+
+class KrakenLoadTester:
+    """Ramps load until a health limit trips.
+
+    Args:
+        latency_limit_ms: Abort when mean latency exceeds this.
+        error_limit: Abort when the error fraction exceeds this.
+        step_fraction: Ramp increment as a fraction of current load.
+        start_rps: Initial offered load.
+        max_steps: Safety cap on ramp length.
+    """
+
+    def __init__(
+        self,
+        latency_limit_ms: float = 100.0,
+        error_limit: float = 0.01,
+        step_fraction: float = 0.05,
+        start_rps: float = 50.0,
+        max_steps: int = 200,
+    ) -> None:
+        if step_fraction <= 0:
+            raise ValueError("step_fraction must be positive")
+        self.latency_limit_ms = latency_limit_ms
+        self.error_limit = error_limit
+        self.step_fraction = step_fraction
+        self.start_rps = start_rps
+        self.max_steps = max_steps
+
+    def run(
+        self,
+        model: ThroughputModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LoadTestResult:
+        """One benchmark run: ramp offered load until a limit trips."""
+        offered = self.start_rps
+        sustained = 0.0
+        steps: List[float] = []
+        limiting = "ceiling"
+        for _ in range(self.max_steps):
+            steps.append(offered)
+            latency = model.latency_ms(offered, rng)
+            errors = model.error_rate(offered)
+            if latency > self.latency_limit_ms:
+                limiting = "latency"
+                break
+            if errors > self.error_limit:
+                limiting = "error_rate"
+                break
+            sustained = offered
+            offered *= 1.0 + self.step_fraction
+        return LoadTestResult(
+            max_throughput=sustained, limiting_metric=limiting, steps=steps
+        )
+
+    def benchmark_series(
+        self,
+        database: TimeSeriesDatabase,
+        service: str,
+        model: ThroughputModel,
+        timestamps: List[float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Run one load test per timestamp, writing the CT-supply series.
+
+        The emitted ``{service}.max_throughput`` series (tagged
+        ``metric="max_throughput"``) is what a CT-supply configuration
+        scans for unexpected drops.
+        """
+        for timestamp in timestamps:
+            result = self.run(model, rng)
+            database.write(
+                f"{service}.max_throughput",
+                timestamp,
+                result.max_throughput,
+                {"service": service, "metric": "max_throughput"},
+            )

@@ -1,0 +1,21 @@
+"""Text-analysis substrate: tokenization, n-gram TF-IDF, cosine similarity.
+
+Used by SOMDedup to turn metric IDs into numeric features (§5.5.1), by
+PairwiseDedup's text-cosine-similarity feature (§5.5.2), and by root-cause
+analysis to score relevance between a regression context and a code-change
+description (§5.6).
+"""
+
+from repro.text.similarity import cosine_similarity, text_cosine_similarity
+from repro.text.tfidf import NgramTfidfVectorizer, TfidfVectorizer
+from repro.text.tokenize import char_ngrams, tokenize_identifier, tokenize_text
+
+__all__ = [
+    "NgramTfidfVectorizer",
+    "TfidfVectorizer",
+    "char_ngrams",
+    "cosine_similarity",
+    "text_cosine_similarity",
+    "tokenize_identifier",
+    "tokenize_text",
+]

@@ -1,0 +1,75 @@
+"""A keyed collection of time series with tag queries and retention."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.tsdb.series import TimeSeries
+
+__all__ = ["TimeSeriesDatabase"]
+
+
+class TimeSeriesDatabase:
+    """In-memory store for named time series.
+
+    Series are identified by name; tags enable the pipeline's routing
+    queries ("all gCPU series of service X").  Writes auto-create series.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self._series.values())
+
+    def create(self, name: str, tags: Optional[Mapping[str, str]] = None) -> TimeSeries:
+        """Create (or return the existing) series ``name``.
+
+        Tags supplied for an existing series are merged in.
+        """
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name=name, tags=dict(tags or {}))
+            self._series[name] = series
+        elif tags:
+            series.tags.update(tags)
+        return series
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        """The series named ``name``, or ``None``."""
+        return self._series.get(name)
+
+    def write(
+        self,
+        name: str,
+        timestamp: float,
+        value: float,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Append one point, creating the series if needed."""
+        self.create(name, tags).append(timestamp, value)
+
+    def query(self, **tag_filters: str) -> List[TimeSeries]:
+        """Series whose tags match all ``tag_filters`` exactly.
+
+        Example: ``db.query(service="frontfaas", metric="gcpu")``.
+        """
+        return [
+            series
+            for series in self._series.values()
+            if all(series.tags.get(key) == value for key, value in tag_filters.items())
+        ]
+
+    def names(self) -> List[str]:
+        """All series names, sorted."""
+        return sorted(self._series)
+
+    def apply_retention(self, cutoff: float) -> int:
+        """Drop points older than ``cutoff`` fleet-wide; returns total dropped."""
+        return sum(series.drop_before(cutoff) for series in self._series.values())

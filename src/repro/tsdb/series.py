@@ -1,0 +1,110 @@
+"""A single append-only time series."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass
+class TimeSeries:
+    """An append-mostly series of ``(timestamp, value)`` points.
+
+    Timestamps are floats (seconds); appends must be non-decreasing in
+    time, matching how monitoring pipelines ingest data.  Out-of-order
+    inserts go through :meth:`insert`, which keeps the arrays sorted.
+
+    Attributes:
+        name: Fully qualified metric name, e.g.
+            ``"frontfaas.render_feed.gcpu"``.
+        tags: Free-form key/value metadata (service, metric type,
+            subroutine, endpoint ...), used by the pipeline to route
+            series to detectors.
+    """
+
+    name: str
+    tags: Dict[str, str] = field(default_factory=dict)
+    _timestamps: List[float] = field(default_factory=list, repr=False)
+    _values: List[float] = field(default_factory=list, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._timestamps, self._values))
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Append a point; ``timestamp`` must be >= the last timestamp.
+
+        Raises:
+            ValueError: On an out-of-order timestamp (use :meth:`insert`).
+        """
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError(
+                f"out-of-order append at {timestamp} < {self._timestamps[-1]}; "
+                "use insert() for backfill"
+            )
+        self._timestamps.append(float(timestamp))
+        self._values.append(float(value))
+
+    def extend(self, points: Iterable[Tuple[float, float]]) -> None:
+        """Append many ``(timestamp, value)`` points in order."""
+        for timestamp, value in points:
+            self.append(timestamp, value)
+
+    def insert(self, timestamp: float, value: float) -> None:
+        """Insert a point keeping timestamp order (O(n) backfill path)."""
+        pos = bisect.bisect_right(self._timestamps, timestamp)
+        self._timestamps.insert(pos, float(timestamp))
+        self._values.insert(pos, float(value))
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Timestamps as a numpy array (copy)."""
+        return np.asarray(self._timestamps, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as a numpy array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    @property
+    def start(self) -> Optional[float]:
+        return self._timestamps[0] if self._timestamps else None
+
+    @property
+    def end(self) -> Optional[float]:
+        return self._timestamps[-1] if self._timestamps else None
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with timestamps in ``[start, end)``."""
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_left(self._timestamps, end)
+        sub = TimeSeries(name=self.name, tags=dict(self.tags))
+        sub._timestamps = self._timestamps[lo:hi]
+        sub._values = self._values[lo:hi]
+        return sub
+
+    def values_between(self, start: float, end: float) -> np.ndarray:
+        """Values whose timestamps fall in ``[start, end)``."""
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_left(self._timestamps, end)
+        return np.asarray(self._values[lo:hi], dtype=float)
+
+    def as_mapping(self) -> Mapping[float, float]:
+        """The series as a ``{timestamp: value}`` dict (for alignment)."""
+        return dict(zip(self._timestamps, self._values))
+
+    def drop_before(self, cutoff: float) -> int:
+        """Retention: drop points older than ``cutoff``; returns count dropped."""
+        lo = bisect.bisect_left(self._timestamps, cutoff)
+        dropped = lo
+        if lo:
+            del self._timestamps[:lo]
+            del self._values[:lo]
+        return dropped

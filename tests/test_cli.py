@@ -1,0 +1,114 @@
+"""Tests for repro.cli."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--preset", "invoicer_short", "--out", "/tmp/x.csv"]
+        )
+        assert args.command == "simulate"
+        assert args.preset == "invoicer_short"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--preset", "nope", "--out", "x"])
+
+
+class TestPresetsCommand:
+    def test_lists_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "invoicer_short" in out
+        assert "frontfaas_small" in out
+
+
+class TestSimulateCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "series.csv"
+        code = main(
+            [
+                "simulate",
+                "--preset", "invoicer_short",
+                "--ticks", "120",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["timestamp", "value"]
+        assert len(rows) == 121
+
+    def test_unknown_metric_errors(self, tmp_path, capsys):
+        out = tmp_path / "series.csv"
+        code = main(
+            [
+                "simulate",
+                "--preset", "invoicer_short",
+                "--ticks", "50",
+                "--metric", "does.not.exist",
+                "--out", str(out),
+            ]
+        )
+        assert code == 2
+
+
+class TestDetectCommand:
+    def _write_csv(self, path, values, interval=60.0):
+        with path.open("w", newline="") as sink:
+            writer = csv.writer(sink)
+            writer.writerow(["timestamp", "value"])
+            for i, value in enumerate(values):
+                writer.writerow([i * interval, value])
+
+    def test_detects_regression(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        path = tmp_path / "series.csv"
+        self._write_csv(path, values)
+        code = main(["detect", str(path), "--config", "frontfaas_small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regressions reported:   1" in out
+
+    def test_clean_series_exit_code_one(self, tmp_path, capsys):
+        rng = np.random.default_rng(1)
+        path = tmp_path / "series.csv"
+        self._write_csv(path, rng.normal(0.001, 0.00002, 900))
+        assert main(["detect", str(path)]) == 1
+
+    def test_too_short_errors(self, tmp_path, capsys):
+        path = tmp_path / "series.csv"
+        self._write_csv(path, [0.001] * 5)
+        assert main(["detect", str(path)]) == 2
+
+    def test_threshold_override(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        path = tmp_path / "series.csv"
+        self._write_csv(path, values)
+        # An absurdly high threshold suppresses the report.
+        assert main(["detect", str(path), "--threshold", "0.5"]) == 1
+
+    def test_headerless_csv(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        path = tmp_path / "series.csv"
+        with path.open("w", newline="") as sink:
+            writer = csv.writer(sink)
+            for i, value in enumerate(values):
+                writer.writerow([i * 60.0, value])
+        assert main(["detect", str(path), "--config", "frontfaas_small"]) == 0

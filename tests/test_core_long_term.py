@@ -1,0 +1,78 @@
+"""Tests for repro.core.long_term."""
+
+import numpy as np
+import pytest
+
+from repro.core.long_term import LongTermDetector
+from repro.core.types import MetricContext, RegressionKind
+from repro.tsdb import TimeSeries, WindowSpec
+
+
+def make_view(values, historic=500, analysis=300, extended=100):
+    series = TimeSeries("s")
+    for i, value in enumerate(values):
+        series.append(float(i), float(value))
+    spec = WindowSpec(historic=historic, analysis=analysis, extended=extended)
+    return spec.view(series, now=float(len(values)))
+
+
+CONTEXT = MetricContext(metric_id="svc.sub.gcpu", metric_name="gcpu", subroutine="sub")
+
+
+class TestLongTermDetector:
+    def test_detects_gradual_ramp(self, rng):
+        values = rng.normal(0.001, 0.00003, 900)
+        values += np.concatenate([np.zeros(500), np.linspace(0, 0.0005, 400)])
+        regression = LongTermDetector(threshold=0.0002).detect(make_view(values), CONTEXT)
+        assert regression is not None
+        assert regression.kind is RegressionKind.LONG_TERM
+        assert regression.magnitude > 0.0002
+
+    def test_flat_series_none(self, rng):
+        values = rng.normal(0.001, 0.00003, 900)
+        assert LongTermDetector(threshold=0.0001).detect(make_view(values), CONTEXT) is None
+
+    def test_below_threshold_none(self, rng):
+        values = rng.normal(0.001, 0.00003, 900)
+        values += np.concatenate([np.zeros(500), np.linspace(0, 0.0001, 400)])
+        assert LongTermDetector(threshold=0.01).detect(make_view(values), CONTEXT) is None
+
+    def test_insensitive_to_transient_spike(self, rng):
+        # The trend smooths out a short spike; no long-term regression.
+        values = rng.normal(0.001, 0.00003, 900)
+        values[600:640] += 0.0008
+        regression = LongTermDetector(threshold=0.0002).detect(make_view(values), CONTEXT)
+        assert regression is None
+
+    def test_seasonal_series_no_false_positive(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(900)
+        values = 0.001 + 0.0004 * np.sin(2 * np.pi * t / 300) + rng.normal(0, 0.00002, 900)
+        regression = LongTermDetector(threshold=0.0002, known_period=300).detect(
+            make_view(values), CONTEXT
+        )
+        assert regression is None
+
+    def test_step_change_located(self, rng):
+        # A sharp persistent step is found by the DP search branch.
+        values = rng.normal(0.001, 0.00003, 900)
+        values[650:] += 0.0006
+        regression = LongTermDetector(threshold=0.0002).detect(make_view(values), CONTEXT)
+        assert regression is not None
+        # change_index is within the analysis window [500, 800) -> 0..299.
+        assert 0 <= regression.change_index < 300
+
+    def test_gradual_flag_feature(self, rng):
+        values = rng.normal(0.001, 0.00001, 900)
+        values += np.linspace(0, 0.0008, 900)  # one long ramp
+        regression = LongTermDetector(threshold=0.0002).detect(make_view(values), CONTEXT)
+        assert regression is not None
+        assert regression.features.get("gradual") == 1.0
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            LongTermDetector(threshold=-1.0)
+
+    def test_short_series_none(self):
+        view = make_view(np.zeros(9), historic=5, analysis=3, extended=1)
+        assert LongTermDetector(threshold=0.1).detect(view, CONTEXT) is None

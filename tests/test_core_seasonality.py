@@ -1,0 +1,76 @@
+"""Tests for repro.core.seasonality."""
+
+import numpy as np
+import pytest
+
+from repro.core.change_point import ChangePointCandidate, ChangePointDetector
+from repro.core.seasonality import SeasonalityDetector
+from repro.core.types import FilterReason
+from repro.tsdb import TimeSeries, WindowSpec
+
+
+def make_view(values, historic=600, analysis=200, extended=100):
+    series = TimeSeries("s")
+    for i, value in enumerate(values):
+        series.append(float(i), float(value))
+    spec = WindowSpec(historic=historic, analysis=analysis, extended=extended)
+    return spec.view(series, now=float(len(values)))
+
+
+class TestSeasonalityDetector:
+    def test_seasonal_rise_filtered(self):
+        # A pure diurnal pattern: the rising edge of a cycle can look like
+        # a regression; deseasonalizing reveals no shift.
+        rng = np.random.default_rng(0)
+        t = np.arange(900)
+        # Phase chosen so the analysis window [700, 800) covers exactly
+        # the rising half-cycle of a period-200 season; the historic
+        # window holds 3.5 full cycles for the decomposition.
+        values = 0.001 + 0.0003 * np.sin(np.pi * (t - 750) / 100) + rng.normal(0, 0.00002, 900)
+        view = make_view(values, historic=700, analysis=100, extended=100)
+        candidate = ChangePointDetector().detect_increase(view.analysis)
+        assert candidate is not None
+        verdict = SeasonalityDetector(known_period=200).check(view, candidate)
+        assert not verdict.passed
+        assert verdict.reason is FilterReason.SEASONALITY
+
+    def test_real_regression_on_seasonal_series_kept(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(900)
+        values = 0.001 + 0.0001 * np.sin(2 * np.pi * t / 300) + rng.normal(0, 0.00002, 900)
+        values[700:] += 0.0004  # genuine step on top of seasonality
+        view = make_view(values)
+        candidate = ChangePointDetector().detect_increase(view.analysis)
+        assert candidate is not None
+        verdict = SeasonalityDetector(known_period=300).check(view, candidate)
+        assert verdict.passed
+
+    def test_no_seasonality_keeps(self, rng):
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        view = make_view(values)
+        candidate = ChangePointDetector().detect_increase(view.analysis)
+        verdict = SeasonalityDetector().check(view, candidate)
+        # A step itself induces autocorrelation, so a spurious period may
+        # be detected — but deseasonalizing must not erase the real shift.
+        assert verdict.passed
+
+    def test_autodetects_period(self):
+        rng = np.random.default_rng(2)
+        t = np.arange(900)
+        values = 0.001 + 0.0003 * np.sin(2 * np.pi * t / 100) + rng.normal(0, 0.00001, 900)
+        view = make_view(values)
+        candidate = ChangePointCandidate(
+            index=100, mean_before=0.001, mean_after=0.0012, p_value=0.001
+        )
+        detector = SeasonalityDetector()  # no known_period
+        verdict = detector.check(view, candidate)
+        assert not verdict.passed
+
+    def test_zscore_none_when_too_short(self):
+        detector = SeasonalityDetector()
+        assert detector._zscore(np.zeros(5), 2, period=10) is None
+
+    def test_zscore_none_for_bad_changepoint(self):
+        detector = SeasonalityDetector()
+        assert detector._zscore(np.zeros(100), 0, period=10) is None

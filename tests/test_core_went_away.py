@@ -1,0 +1,125 @@
+"""Tests for repro.core.went_away (the §5.2.2 predicate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.change_point import ChangePointDetector
+from repro.core.types import FilterReason
+from repro.core.went_away import WentAwayDetector
+from repro.fleet import scenarios
+from repro.tsdb import TimeSeries, WindowSpec
+
+
+def make_view(values, historic=600, analysis=200, extended=100):
+    """Lay out ``values`` over a historic/analysis/extended window split."""
+    series = TimeSeries("s")
+    for i, value in enumerate(values):
+        series.append(float(i), float(value))
+    spec = WindowSpec(historic=historic, analysis=analysis, extended=extended)
+    return spec.view(series, now=float(len(values)))
+
+
+def detect_in_analysis(view):
+    candidate = ChangePointDetector().detect_increase(view.analysis)
+    assert candidate is not None, "test setup: no change point found"
+    return candidate
+
+
+class TestWentAwayDetector:
+    def test_true_step_regression_kept(self, rng):
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        view = make_view(values)
+        candidate = detect_in_analysis(view)
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert diagnosis.is_true_regression
+        assert not diagnosis.gone_away
+
+    def test_transient_dip_filtered(self):
+        # Figure 1(c)-style (negated to an oriented increase): a bump late
+        # in the analysis window that recovers in the extended window.
+        rng = np.random.default_rng(5)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:790] += 0.0004  # transient; recovered by t=790
+        view = make_view(values)
+        candidate = detect_in_analysis(view)
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert not diagnosis.is_true_regression
+        assert diagnosis.gone_away
+
+    def test_figure7_spike_does_not_mask_end_regression(self):
+        # A historic spike plus a true regression at the very end.
+        rng = np.random.default_rng(7)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[300:330] += 0.0008        # historic spike
+        values[760:] += 0.0004           # true end regression
+        view = make_view(values)
+        candidate = ChangePointDetector().detect_increase(view.analysis)
+        assert candidate is not None
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert diagnosis.is_true_regression
+
+    def test_new_pattern_reports_without_trend(self, rng):
+        # A jump to a level never seen historically is a new pattern.
+        values = rng.normal(0.001, 0.00001, 900)
+        values[700:] += 0.001  # 100x the noise; all post letters invalid
+        view = make_view(values)
+        candidate = detect_in_analysis(view)
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert diagnosis.new_pattern
+
+    def test_improvement_new_pattern_not_reported(self, rng):
+        # A drop below every historically valid bucket: a new pattern but
+        # cheaper, so not a regression.  (Construct directly: the change
+        # point detector would not even flag it as an increase.)
+        values = rng.normal(0.001, 0.00001, 900)
+        values[700:] -= 0.0008
+        view = make_view(values)
+        from repro.core.change_point import ChangePointCandidate
+
+        candidate = ChangePointCandidate(
+            index=100, mean_before=0.001, mean_after=0.0002, p_value=0.0
+        )
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert not diagnosis.new_pattern
+
+    def test_check_returns_verdict(self, rng):
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] += 0.0002
+        view = make_view(values)
+        candidate = detect_in_analysis(view)
+        verdict = WentAwayDetector().check(view, candidate)
+        assert verdict.passed
+
+    def test_check_drop_reason(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:790] += 0.0004
+        view = make_view(values)
+        candidate = detect_in_analysis(view)
+        verdict = WentAwayDetector().check(view, candidate)
+        assert not verdict.passed
+        assert verdict.reason is FilterReason.WENT_AWAY
+
+    def test_lasting_trend_for_gradual_ramp(self, rng):
+        values = rng.normal(0.001, 0.00002, 900)
+        values[650:] += np.linspace(0, 0.0003, 250)
+        view = make_view(values)
+        candidate = ChangePointDetector().detect_increase(view.analysis)
+        if candidate is None:
+            pytest.skip("ramp produced no significant change point")
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert diagnosis.lasting_trend
+
+    def test_significant_regression_requires_percentiles(self, rng):
+        # A shift well inside the historic value range (not significant).
+        values = rng.normal(0.001, 0.0002, 900)  # wide historic noise
+        values[700:] += 0.00005  # tiny vs noise
+        view = make_view(values)
+        from repro.core.change_point import ChangePointCandidate
+
+        candidate = ChangePointCandidate(
+            index=100, mean_before=0.001, mean_after=0.00105, p_value=0.005
+        )
+        diagnosis = WentAwayDetector().diagnose(view, candidate)
+        assert not diagnosis.significant_regression

@@ -1,0 +1,108 @@
+"""Tests for repro.fleet.scenarios (the paper's §2 simulations)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import scenarios
+
+
+class TestSingleServerCpu:
+    def test_regression_invisible_in_noise(self):
+        # Figure 1(a): the 0.005% shift is buried in sigma=0.1 noise.
+        series = scenarios.single_server_cpu(n_points=500)
+        before, after = series[:250], series[250:]
+        shift = after.mean() - before.mean()
+        assert abs(shift) < 3 * series.std() / np.sqrt(250)
+
+    def test_clipping(self):
+        series = scenarios.single_server_cpu(n_points=1000)
+        assert series.min() >= 0.0
+        assert series.max() <= 1.0
+
+    def test_mean_level(self):
+        series = scenarios.single_server_cpu(n_points=2000)
+        assert series.mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestProcessLevelAverage:
+    def test_noise_shrinks_with_m(self):
+        small = scenarios.process_level_average(500_000, seed=1)
+        large = scenarios.process_level_average(50_000_000, seed=1)
+        assert large.std() < small.std()
+
+    def test_mixture_mean(self):
+        series = scenarios.process_level_average(5_000_000)
+        assert series.mean() == pytest.approx(0.5, abs=0.001)
+
+    def test_regression_visible_at_large_m(self):
+        # Figure 2(c): at m=50M the 0.005% average shift is detectable.
+        series = scenarios.process_level_average(50_000_000, n_points=500, seed=0)
+        shift = series[250:].mean() - series[:250].mean()
+        noise = series[:250].std() / np.sqrt(250)
+        assert shift == pytest.approx(0.00005, abs=3 * noise)
+        assert shift > 3 * noise
+
+
+class TestSubroutineLevelAverage:
+    def test_thousand_fold_server_reduction(self):
+        # Figure 3: k=1000 subroutines make the regression detectable at
+        # m=50k servers, 1000x fewer than Figure 2's m=50M.
+        series = scenarios.subroutine_level_average(
+            m_servers=50_000, k_subroutines=1000, n_points=500, seed=0
+        )
+        shift = series[250:].mean() - series[:250].mean()
+        noise = series[:250].std() / np.sqrt(250)
+        assert shift > 3 * noise  # clearly detectable
+
+    def test_small_m_regression_invisible(self):
+        # Figure 3(a): at m=500 the regression is buried in noise.
+        series = scenarios.subroutine_level_average(
+            m_servers=500, k_subroutines=1000, n_points=500, seed=0
+        )
+        shift = series[250:].mean() - series[:250].mean()
+        assert abs(shift) < 5 * series[:250].std() / np.sqrt(250)
+
+    def test_clipping_raises_mean(self):
+        # Footnote 2: censoring negative samples raises the mean well
+        # above mu/k = 0.05%; the paper's Figure 3 sits around 0.17%.
+        series = scenarios.subroutine_level_average(
+            m_servers=500, k_subroutines=1000, n_points=20, seed=1
+        )
+        assert series.mean() > 0.001
+
+
+class TestCostShiftSeries:
+    def test_target_jumps_domain_flat(self):
+        target, domain = scenarios.cost_shift_series(n_points=400, seed=2)
+        target_shift = target[250:].mean() - target[:150].mean()
+        domain_shift = abs(domain[250:].mean() - domain[:150].mean())
+        assert target_shift == pytest.approx(0.0003, rel=0.2)
+        assert domain_shift < 0.1 * target_shift
+
+
+class TestTransientThroughputDrop:
+    def test_recovers(self):
+        series = scenarios.transient_throughput_drop(
+            n_points=500, drop_start=200, drop_length=40, seed=3
+        )
+        assert series[210:230].mean() < 0.7 * series[:190].mean()
+        assert series[260:].mean() == pytest.approx(series[:190].mean(), rel=0.05)
+
+
+class TestSpikeThenRegression:
+    def test_shape(self):
+        series = scenarios.spike_then_regression(n_points=500, seed=4)
+        base = series[:200].mean()
+        spike = series[227:235].mean()
+        end = series[450:].mean()
+        assert spike > base + 0.0005
+        assert end == pytest.approx(base + 0.0004, rel=0.25)
+        # Between spike and regression the series is back to baseline.
+        assert series[300:400].mean() == pytest.approx(base, rel=0.1)
+
+
+class TestNoisyStep:
+    def test_step_at_index(self):
+        series = scenarios.noisy_step_series(100, 60, base=1.0, shift=0.5, noise_std=0.01)
+        assert series[:60].mean() == pytest.approx(1.0, abs=0.01)
+        assert series[60:].mean() == pytest.approx(1.5, abs=0.01)

@@ -1,0 +1,94 @@
+"""End-to-end metadata-annotated regression detection (§3).
+
+A subroutine annotates its frames with ``SetFrameMetadata`` per user
+category; a regression that only affects one category is invisible in
+the subroutine's overall gCPU but shows in the metadata-annotated
+series.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FBDetect
+from repro.config import DetectionConfig
+from repro.profiling.collector import FleetProfileCollector
+from repro.profiling.stacktrace import Frame, StackTrace
+from repro.tsdb import TimeSeriesDatabase, WindowSpec
+
+
+def category_samples(rng, enterprise_weight: float, consumer_weight: float):
+    """One interval's samples: the handler serves two user categories."""
+    other = max(0.0, 100.0 - enterprise_weight - consumer_weight)
+    samples = [
+        StackTrace(
+            frames=(
+                Frame("_start"),
+                Frame("svc::H::handle", metadata="user:enterprise"),
+            ),
+            weight=enterprise_weight * (1.0 + rng.normal(0, 0.01)),
+        ),
+        StackTrace(
+            frames=(
+                Frame("_start"),
+                Frame("svc::H::handle", metadata="user:consumer"),
+            ),
+            weight=consumer_weight * (1.0 + rng.normal(0, 0.01)),
+        ),
+    ]
+    if other > 0:
+        samples.append(StackTrace.from_names(["_start", "svc::Other::run"], weight=other))
+    return samples
+
+
+@pytest.fixture(scope="module")
+def metadata_db():
+    rng = np.random.default_rng(3)
+    db = TimeSeriesDatabase()
+    collector = FleetProfileCollector(db, service="svc")
+    for tick in range(900):
+        if tick < 700:
+            enterprise, consumer = 5.0, 15.0
+        else:
+            # Enterprise handling regresses 40%; consumer shrinks so the
+            # subroutine's total stays flat — invisible without metadata.
+            enterprise, consumer = 7.0, 13.0
+        collector.ingest(tick * 60.0, category_samples(rng, enterprise, consumer))
+    return db
+
+
+def config():
+    return DetectionConfig(
+        name="metadata",
+        threshold=0.005,
+        rerun_interval=3600.0,
+        windows=WindowSpec(36_000.0, 12_000.0, 6_000.0),
+        long_term=False,
+    )
+
+
+class TestMetadataAnnotatedDetection:
+    def test_overall_subroutine_flat(self, metadata_db):
+        series = metadata_db.get("svc.svc::H::handle.gcpu")
+        values = series.values
+        assert values[:700].mean() == pytest.approx(values[720:].mean(), rel=0.02)
+
+    def test_metadata_series_regresses(self, metadata_db):
+        series = metadata_db.get("svc.svc::H::handle@user:enterprise.gcpu")
+        values = series.values
+        assert values[720:].mean() > values[:700].mean() * 1.2
+
+    def test_pipeline_reports_only_the_category(self, metadata_db):
+        detector = FBDetect(config(), series_filter={"metric": "gcpu"})
+        result = detector.run(metadata_db, now=900 * 60.0)
+        reported_ids = {r.context.metric_id for r in result.reported}
+        assert "svc.svc::H::handle@user:enterprise.gcpu" in reported_ids
+        assert "svc.svc::H::handle.gcpu" not in reported_ids
+
+    def test_regression_context_carries_metadata(self, metadata_db):
+        detector = FBDetect(config(), series_filter={"metric": "gcpu"})
+        result = detector.run(metadata_db, now=900 * 60.0)
+        enterprise = [
+            r for r in result.reported
+            if r.context.metric_id == "svc.svc::H::handle@user:enterprise.gcpu"
+        ]
+        assert enterprise[0].context.metadata == "user:enterprise"

@@ -1,0 +1,140 @@
+"""Tests for repro.profiling.gcpu and the sampler."""
+
+import time
+import threading
+
+import pytest
+
+from repro.profiling.gcpu import GcpuTable, compute_gcpu, stack_trace_overlap
+from repro.profiling.sampler import ThreadStackSampler
+from repro.profiling.stacktrace import StackTrace
+
+
+def traces(*specs):
+    """Build traces from (names, weight) pairs."""
+    return [StackTrace.from_names(names, weight=w) for names, w in specs]
+
+
+class TestComputeGcpu:
+    def test_paper_definition(self):
+        # foo in 8 of 100 samples -> gCPU 8%.
+        samples = traces((["main", "foo"], 8.0), (["main", "bar"], 92.0))
+        table = compute_gcpu(samples)
+        assert table.gcpu("foo") == pytest.approx(0.08)
+        assert table.gcpu("main") == pytest.approx(1.0)
+
+    def test_includes_children(self):
+        # Parent's gCPU covers samples landing in its children.
+        samples = traces((["p", "c1"], 3.0), (["p", "c2"], 2.0), (["q"], 5.0))
+        table = compute_gcpu(samples)
+        assert table.gcpu("p") == pytest.approx(0.5)
+
+    def test_recursion_counts_once(self):
+        samples = traces((["f", "f", "f"], 1.0), (["g"], 1.0))
+        assert compute_gcpu(samples).gcpu("f") == pytest.approx(0.5)
+
+    def test_unknown_subroutine_zero(self):
+        assert compute_gcpu(traces((["a"], 1.0))).gcpu("zzz") == 0.0
+
+    def test_empty_samples(self):
+        table = compute_gcpu([])
+        assert table.gcpu("anything") == 0.0
+
+    def test_subroutines_sorted_by_gcpu(self):
+        samples = traces((["hot"], 9.0), (["cold"], 1.0))
+        assert compute_gcpu(samples).subroutines() == ["hot", "cold"]
+
+    def test_non_trivial_threshold(self):
+        samples = traces((["hot"], 99999.0), (["tiny"], 1.0))
+        table = compute_gcpu(samples)
+        assert "tiny" in table.non_trivial(threshold=1e-5)
+        assert "tiny" not in table.non_trivial(threshold=1e-3)
+
+    def test_as_dict(self):
+        table = compute_gcpu(traces((["a", "b"], 1.0)))
+        assert table.as_dict() == {"a": 1.0, "b": 1.0}
+
+
+class TestStackTraceOverlap:
+    def test_full_overlap_same_path(self):
+        samples = traces((["a", "b"], 10.0))
+        assert stack_trace_overlap(samples, "a", "b") == 1.0
+
+    def test_no_overlap(self):
+        samples = traces((["a"], 1.0), (["b"], 1.0))
+        assert stack_trace_overlap(samples, "a", "b") == 0.0
+
+    def test_partial_overlap(self):
+        samples = traces((["a", "b"], 1.0), (["a", "c"], 1.0), (["d", "b"], 2.0))
+        # a in 2 samples, b in 3 (weights 1+2), both in 1 -> 1 / (2+3-1).
+        assert stack_trace_overlap(samples, "a", "b") == pytest.approx(0.25)
+
+    def test_neither_present(self):
+        assert stack_trace_overlap(traces((["x"], 1.0)), "a", "b") == 0.0
+
+
+class TestThreadStackSampler:
+    def test_collects_samples_of_busy_thread(self):
+        stop = threading.Event()
+
+        def busy_loop_for_sampler_test():
+            while not stop.is_set():
+                sum(range(1000))
+
+        worker = threading.Thread(target=busy_loop_for_sampler_test, daemon=True)
+        worker.start()
+        sampler = ThreadStackSampler(interval=0.005, target_thread_ids=[worker.ident])
+        sampler.start()
+        time.sleep(0.25)
+        stats = sampler.stop()
+        stop.set()
+        worker.join()
+
+        assert stats.samples > 5
+        assert stats.effective_rate > 0
+        joined = {name for trace in sampler.samples for name in trace.subroutines}
+        assert any("busy_loop_for_sampler_test" in name for name in joined)
+
+    def test_double_start_raises(self):
+        sampler = ThreadStackSampler(interval=0.05)
+        sampler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            ThreadStackSampler().stop()
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            ThreadStackSampler(interval=0.0)
+
+    def test_stacks_are_root_first(self):
+        stop = threading.Event()
+
+        def outer_fn_for_order_test():
+            inner_fn_for_order_test()
+
+        def inner_fn_for_order_test():
+            while not stop.is_set():
+                sum(range(500))
+
+        worker = threading.Thread(target=outer_fn_for_order_test, daemon=True)
+        worker.start()
+        sampler = ThreadStackSampler(interval=0.005, target_thread_ids=[worker.ident])
+        sampler.start()
+        time.sleep(0.15)
+        sampler.stop()
+        stop.set()
+        worker.join()
+
+        for trace in sampler.samples:
+            names = [n for n in trace.subroutines if "order_test" in n]
+            if len(names) == 2:
+                assert "outer" in names[0] and "inner" in names[1]
+                break
+        else:
+            pytest.fail("no sample captured both frames")

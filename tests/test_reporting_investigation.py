@@ -1,0 +1,82 @@
+"""Tests for repro.reporting.investigation."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import MetricContext, Regression, RegressionKind
+from repro.profiling.stacktrace import StackTrace
+from repro.reporting import format_investigation, investigate_regression
+from repro.tsdb import TimeSeries, WindowSpec
+
+
+def make_regression(subroutine="parse"):
+    series = TimeSeries("svc.parse.gcpu")
+    for i in range(900):
+        series.append(float(i), 0.001)
+    view = WindowSpec(600, 200, 100).view(series, now=900.0)
+    return Regression(
+        context=MetricContext(
+            metric_id="svc.parse.gcpu", service="svc", metric_name="gcpu",
+            subroutine=subroutine,
+        ),
+        kind=RegressionKind.SHORT_TERM,
+        change_index=100,
+        change_time=700.0,
+        mean_before=0.001,
+        mean_after=0.0012,
+        window=view,
+    )
+
+
+def samples(parse_weight):
+    return [
+        StackTrace.from_names(["main", "parse"], weight=parse_weight),
+        StackTrace.from_names(["main", "render"], weight=100.0 - parse_weight),
+    ]
+
+
+class TestInvestigateRegression:
+    def test_gainer_is_regressed_path(self):
+        investigation = investigate_regression(
+            make_regression(), samples(10.0), samples(20.0)
+        )
+        gainer_paths = [d.path for d in investigation.top_gainers]
+        assert ("main", "parse") in gainer_paths
+        assert investigation.regressed_path_delta == pytest.approx(0.10)
+
+    def test_loser_shows_where_cost_came_from(self):
+        investigation = investigate_regression(
+            make_regression(), samples(10.0), samples(20.0)
+        )
+        loser_paths = [d.path for d in investigation.top_losers]
+        assert ("main", "render") in loser_paths
+
+    def test_unknown_subroutine_zero_delta(self):
+        investigation = investigate_regression(
+            make_regression(subroutine="zzz"), samples(10.0), samples(20.0)
+        )
+        assert investigation.regressed_path_delta == 0.0
+
+    def test_k_limits_output(self):
+        before = [StackTrace.from_names([f"f{i}"], weight=1.0) for i in range(20)]
+        after = [StackTrace.from_names([f"f{i}"], weight=float(i + 1)) for i in range(20)]
+        investigation = investigate_regression(make_regression(), before, after, k=3)
+        assert len(investigation.top_gainers) <= 3
+        assert len(investigation.top_losers) <= 3
+
+
+class TestFormatInvestigation:
+    def test_renders_paths(self):
+        investigation = investigate_regression(
+            make_regression(), samples(10.0), samples(20.0)
+        )
+        text = format_investigation(investigation)
+        assert "gained:" in text
+        assert "main->parse" in text
+        assert "+0.1000" in text
+
+    def test_no_movement_message(self):
+        investigation = investigate_regression(
+            make_regression(), samples(10.0), samples(10.0)
+        )
+        assert "no significant movement" in format_investigation(investigation)

@@ -1,0 +1,51 @@
+"""Tests for repro.stats.hypothesis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.hypothesis import likelihood_ratio_test
+
+
+class TestLikelihoodRatioTest:
+    def test_real_shift_is_significant(self, step_series):
+        result = likelihood_ratio_test(step_series, 100)
+        assert result.significant
+        assert result.p_value < 0.01
+
+    def test_pure_noise_not_significant(self, flat_series):
+        # Test the true (uninformed) split at the midpoint of pure noise.
+        result = likelihood_ratio_test(flat_series, 100)
+        assert not result.significant
+
+    def test_statistic_nonnegative(self, flat_series):
+        assert likelihood_ratio_test(flat_series, 57).statistic >= 0.0
+
+    def test_invalid_changepoint_raises(self, flat_series):
+        with pytest.raises(ValueError):
+            likelihood_ratio_test(flat_series, 0)
+        with pytest.raises(ValueError):
+            likelihood_ratio_test(flat_series, len(flat_series))
+
+    def test_significance_level_respected(self, rng):
+        # A borderline shift: significant at 0.2 but not at 1e-12.
+        x = np.concatenate([rng.normal(0, 1, 40), rng.normal(0.5, 1, 40)])
+        loose = likelihood_ratio_test(x, 40, significance_level=0.2)
+        strict = likelihood_ratio_test(x, 40, significance_level=1e-12)
+        assert loose.significance_level == 0.2
+        assert loose.p_value == strict.p_value
+        assert loose.significant or not strict.significant
+
+    def test_larger_shift_larger_statistic(self, rng):
+        noise = rng.normal(0, 1, 200)
+        small = noise.copy()
+        small[100:] += 0.5
+        big = noise.copy()
+        big[100:] += 3.0
+        assert (
+            likelihood_ratio_test(big, 100).statistic
+            > likelihood_ratio_test(small, 100).statistic
+        )
+
+    def test_constant_series(self):
+        result = likelihood_ratio_test(np.full(50, 2.0), 25)
+        assert not result.significant

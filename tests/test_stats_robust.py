@@ -1,0 +1,45 @@
+"""Tests for repro.stats.robust."""
+
+import numpy as np
+import pytest
+
+from repro.stats.robust import NORMALITY_CONSTANT, mad, mad_threshold
+
+
+class TestMad:
+    def test_known_value(self):
+        # median=3, |x-3| = [2,1,0,1,2] -> median 1.
+        assert mad([1, 2, 3, 4, 5]) == 1.0
+
+    def test_empty(self):
+        assert mad([]) == 0.0
+
+    def test_constant(self):
+        assert mad(np.full(10, 2.5)) == 0.0
+
+    def test_robust_to_single_outlier(self):
+        base = mad([1, 2, 3, 4, 5])
+        assert mad([1, 2, 3, 4, 1000]) == pytest.approx(base, abs=0.5)
+
+    def test_scales_with_data(self):
+        assert mad([10, 20, 30, 40, 50]) == 10.0
+
+
+class TestMadThreshold:
+    def test_formula(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mad_threshold(values, coefficient=1.5) == pytest.approx(
+            1.5 * 1.0 * NORMALITY_CONSTANT
+        )
+
+    def test_default_coefficient_is_paper_default(self):
+        values = [0.0, 1.0, 2.0]
+        assert mad_threshold(values) == mad_threshold(values, coefficient=1.5)
+
+    def test_normality_constant_value(self):
+        assert NORMALITY_CONSTANT == 1.4826
+
+    def test_gaussian_consistency(self, rng):
+        # For a large normal sample, MAD * 1.4826 approximates sigma.
+        x = rng.normal(0, 2.0, 20_000)
+        assert mad(x) * NORMALITY_CONSTANT == pytest.approx(2.0, rel=0.05)

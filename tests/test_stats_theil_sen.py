@@ -1,0 +1,55 @@
+"""Tests for repro.stats.theil_sen."""
+
+import numpy as np
+import pytest
+
+from repro.stats.theil_sen import theil_sen
+
+
+class TestTheilSen:
+    def test_exact_line(self):
+        fit = theil_sen(2.0 * np.arange(30) + 5.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+
+    def test_robust_to_outliers(self):
+        y = 1.0 * np.arange(50) + 3.0
+        y[[5, 17, 33]] = 1000.0  # 6% outliers
+        fit = theil_sen(y)
+        assert fit.slope == pytest.approx(1.0, abs=0.05)
+
+    def test_flat_series(self):
+        fit = theil_sen(np.full(20, 4.0))
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(4.0)
+
+    def test_custom_x(self):
+        x = np.array([0.0, 2.0, 4.0, 6.0])
+        y = 3.0 * x + 1.0
+        fit = theil_sen(y, x=x)
+        assert fit.slope == pytest.approx(3.0)
+
+    def test_predict(self):
+        fit = theil_sen(2.0 * np.arange(10))
+        assert np.allclose(fit.predict([0, 5]), [0.0, 10.0])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            theil_sen([1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            theil_sen([1.0, 2.0], x=[0.0])
+
+    def test_duplicate_x_values(self):
+        # All pairwise dx zero -> slope 0, intercept = median(y).
+        fit = theil_sen([1.0, 5.0, 9.0], x=[2.0, 2.0, 2.0])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(5.0)
+
+    def test_long_series_subsampling_deterministic(self):
+        y = 0.5 * np.arange(1500) + np.sin(np.arange(1500))
+        fit1 = theil_sen(y)
+        fit2 = theil_sen(y)
+        assert fit1.slope == fit2.slope
+        assert fit1.slope == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,92 @@
+"""Tests for repro.substrates.kraken."""
+
+import numpy as np
+import pytest
+
+from repro.substrates.kraken import KrakenLoadTester, ThroughputModel
+from repro.tsdb import TimeSeriesDatabase
+
+
+class TestThroughputModel:
+    def test_latency_blows_up_near_capacity(self):
+        model = ThroughputModel(capacity=1000.0, base_latency_ms=5.0)
+        assert model.latency_ms(100.0) < model.latency_ms(900.0) < model.latency_ms(990.0)
+
+    def test_errors_only_past_knee(self):
+        model = ThroughputModel(capacity=1000.0, error_knee=0.9)
+        assert model.error_rate(800.0) == 0.0
+        assert model.error_rate(950.0) > 0.0
+        assert model.error_rate(1100.0) == 1.0
+
+    def test_regress_shrinks_capacity(self):
+        model = ThroughputModel(capacity=1000.0)
+        model.regress(0.9)
+        assert model.capacity == pytest.approx(900.0)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ThroughputModel(capacity=0.0)
+
+    def test_invalid_regress_raises(self):
+        with pytest.raises(ValueError):
+            ThroughputModel(capacity=1.0).regress(1.5)
+
+
+class TestKrakenLoadTester:
+    def test_finds_capacity_neighborhood(self):
+        model = ThroughputModel(capacity=1000.0)
+        result = KrakenLoadTester().run(model)
+        # Max throughput is near capacity, below it, limited by health.
+        assert 0.7 * model.capacity <= result.max_throughput <= model.capacity
+        assert result.limiting_metric in ("latency", "error_rate")
+
+    def test_regression_reduces_measured_max(self):
+        model = ThroughputModel(capacity=1000.0)
+        tester = KrakenLoadTester()
+        healthy = tester.run(model).max_throughput
+        model.regress(0.85)
+        regressed = tester.run(model).max_throughput
+        assert regressed < healthy
+        assert regressed / healthy == pytest.approx(0.85, abs=0.07)
+
+    def test_steps_are_increasing(self):
+        result = KrakenLoadTester(step_fraction=0.1).run(ThroughputModel(capacity=500.0))
+        assert result.steps == sorted(result.steps)
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(ValueError):
+            KrakenLoadTester(step_fraction=0.0)
+
+    def test_benchmark_series_written(self):
+        db = TimeSeriesDatabase()
+        model = ThroughputModel(capacity=800.0)
+        tester = KrakenLoadTester()
+        tester.benchmark_series(
+            db, "webtier", model, timestamps=[0.0, 3600.0], rng=np.random.default_rng(0)
+        )
+        series = db.get("webtier.max_throughput")
+        assert len(series) == 2
+        assert series.tags["metric"] == "max_throughput"
+
+    def test_ct_supply_detection_end_to_end(self):
+        """Kraken series + CT-supply config: a capacity regression is
+        reported, measured load-test noise alone is not."""
+        from repro import FBDetect, table1_config
+
+        rng = np.random.default_rng(7)
+        db = TimeSeriesDatabase()
+        model = ThroughputModel(capacity=1000.0)
+        tester = KrakenLoadTester()
+        for hour in range(900):
+            if hour == 700:
+                model.regress(0.9)  # 10% supply regression
+            tester.benchmark_series(
+                db, "webtier", model, timestamps=[hour * 3600.0], rng=rng
+            )
+        config = table1_config("ct_supply_short").with_windows(
+            historic=600 * 3600.0, analysis=200 * 3600.0, extended=100 * 3600.0
+        )
+        detector = FBDetect(config, series_filter={"metric": "max_throughput"})
+        result = detector.run(db, now=900 * 3600.0)
+        assert len(result.reported) == 1
+        assert abs(result.reported[0].relative_magnitude) >= 0.05

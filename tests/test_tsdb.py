@@ -1,0 +1,154 @@
+"""Tests for repro.tsdb (series, database, windows)."""
+
+import numpy as np
+import pytest
+
+from repro.tsdb import TimeSeries, TimeSeriesDatabase, WindowSpec
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_out_of_order_append_raises(self):
+        series = TimeSeries("s")
+        series.append(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(5.0, 2.0)
+
+    def test_equal_timestamp_append_ok(self):
+        series = TimeSeries("s")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_insert_keeps_order(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 0.0), (2.0, 2.0)])
+        series.insert(1.0, 1.0)
+        assert list(series.timestamps) == [0.0, 1.0, 2.0]
+
+    def test_between_half_open(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        sub = series.between(1.0, 3.0)
+        assert list(sub.values) == [1.0, 2.0]
+
+    def test_values_between(self):
+        series = TimeSeries("s")
+        series.extend([(float(i), float(i)) for i in range(10)])
+        assert list(series.values_between(2.0, 5.0)) == [2.0, 3.0, 4.0]
+
+    def test_start_end(self):
+        series = TimeSeries("s")
+        assert series.start is None and series.end is None
+        series.extend([(1.0, 0.0), (5.0, 0.0)])
+        assert series.start == 1.0 and series.end == 5.0
+
+    def test_drop_before(self):
+        series = TimeSeries("s")
+        series.extend([(float(i), float(i)) for i in range(10)])
+        dropped = series.drop_before(4.0)
+        assert dropped == 4
+        assert series.start == 4.0
+
+    def test_as_mapping(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 1.0), (1.0, 2.0)])
+        assert series.as_mapping() == {0.0: 1.0, 1.0: 2.0}
+
+
+class TestTimeSeriesDatabase:
+    def test_write_autocreates(self):
+        db = TimeSeriesDatabase()
+        db.write("a.b", 0.0, 1.0, tags={"metric": "gcpu"})
+        assert "a.b" in db
+        assert len(db) == 1
+
+    def test_create_merges_tags(self):
+        db = TimeSeriesDatabase()
+        db.create("s", {"a": "1"})
+        db.create("s", {"b": "2"})
+        assert db.get("s").tags == {"a": "1", "b": "2"}
+
+    def test_query_by_tags(self):
+        db = TimeSeriesDatabase()
+        db.write("x", 0.0, 1.0, tags={"service": "svc", "metric": "gcpu"})
+        db.write("y", 0.0, 1.0, tags={"service": "svc", "metric": "cpu"})
+        db.write("z", 0.0, 1.0, tags={"service": "other", "metric": "gcpu"})
+        assert [s.name for s in db.query(service="svc", metric="gcpu")] == ["x"]
+        assert len(db.query(service="svc")) == 2
+
+    def test_get_missing_none(self):
+        assert TimeSeriesDatabase().get("nope") is None
+
+    def test_names_sorted(self):
+        db = TimeSeriesDatabase()
+        db.create("b")
+        db.create("a")
+        assert db.names() == ["a", "b"]
+
+    def test_retention(self):
+        db = TimeSeriesDatabase()
+        for i in range(10):
+            db.write("s", float(i), 0.0)
+        assert db.apply_retention(5.0) == 5
+        assert db.get("s").start == 5.0
+
+
+class TestWindowSpec:
+    def test_invalid_durations_raise(self):
+        with pytest.raises(ValueError):
+            WindowSpec(historic=0, analysis=1)
+        with pytest.raises(ValueError):
+            WindowSpec(historic=1, analysis=1, extended=-1)
+
+    def test_total(self):
+        assert WindowSpec(10, 5, 2).total == 17
+
+    def test_view_slices_correctly(self):
+        series = TimeSeries("s")
+        for i in range(100):
+            series.append(float(i), float(i))
+        spec = WindowSpec(historic=50, analysis=30, extended=20)
+        view = spec.view(series, now=100.0)
+        assert view.historic.size == 50
+        assert view.analysis.size == 30
+        assert view.extended.size == 20
+        assert view.historic[0] == 0.0
+        assert view.analysis[0] == 50.0
+        assert view.extended[-1] == 99.0
+
+    def test_view_without_extended(self):
+        series = TimeSeries("s")
+        for i in range(100):
+            series.append(float(i), float(i))
+        spec = WindowSpec(historic=60, analysis=40)
+        view = spec.view(series, now=100.0)
+        assert view.extended.size == 0
+        assert view.analysis_and_extended.size == 40
+
+    def test_full_concatenation(self):
+        series = TimeSeries("s")
+        for i in range(10):
+            series.append(float(i), float(i))
+        view = WindowSpec(5, 3, 2).view(series, now=10.0)
+        assert list(view.full) == [float(i) for i in range(10)]
+
+    def test_has_minimum_data(self):
+        series = TimeSeries("s")
+        for i in range(20):
+            series.append(float(i), 0.0)
+        view = WindowSpec(10, 5, 5).view(series, now=20.0)
+        assert view.has_minimum_data(min_historic=10, min_analysis=5)
+        assert not view.has_minimum_data(min_historic=11, min_analysis=5)
+
+    def test_view_beyond_data_is_empty(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        view = WindowSpec(10, 5, 5).view(series, now=1000.0)
+        assert view.full.size == 0
