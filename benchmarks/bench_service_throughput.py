@@ -1,0 +1,134 @@
+"""Streaming-service ingest throughput and scan latency across shards.
+
+FBDetect's deployment (§5.1) shards the series space so each scanner
+works on a bounded slice.  This bench reproduces the two laptop-scale
+consequences the service is built around:
+
+- **Ingest throughput under bursty load.**  Every shard owns a bounded
+  queue; when a burst exceeds one queue's capacity, extra shards are the
+  only thing that turns offered samples into durably ingested ones.
+  Throughput here is *goodput* — samples accepted and flushed into a
+  TSDB per second (REJECT policy, so refused samples are explicit).
+  The acceptance bar: multi-shard goodput >= 2x single-shard.
+- **Scan latency.**  Each shard's detector scans only the shard-local
+  series, so per-scan latency drops as the series space spreads across
+  shards (while total scan work stays roughly constant).
+"""
+
+import time
+
+import numpy as np
+
+from _harness import emit
+from repro.config import DetectionConfig
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import WindowSpec
+
+N_SERIES = 64
+INTERVAL = 60.0
+SERIES = [f"svc.sub{i}.gcpu" for i in range(N_SERIES)]
+
+# Burst phase: each burst offers far more than one shard's queue holds.
+CAPACITY = 64          # per-shard queue bound
+TICKS_PER_BURST = 16   # 16 ticks x 64 series = 1024 samples per burst
+N_BURSTS = 40
+
+# Scan phase: enough history for one full detection window per series.
+HIST_TICKS = 900       # = windows.total / INTERVAL
+
+
+def burst_stream():
+    bursts = []
+    tick = 0
+    for _ in range(N_BURSTS):
+        burst = []
+        for _ in range(TICKS_PER_BURST):
+            timestamp = tick * INTERVAL
+            burst.extend(Sample(name, timestamp, 0.001) for name in SERIES)
+            tick += 1
+        bursts.append(burst)
+    return bursts
+
+
+def run_burst_ingest(n_shards, bursts):
+    service = StreamingDetectionService(
+        n_shards=n_shards,
+        queue_capacity=CAPACITY,
+        backpressure=BackpressurePolicy.REJECT,
+        batch_size=CAPACITY,
+    )
+    started = time.perf_counter()
+    for burst in bursts:
+        for sample in burst:
+            service.ingest_sample(sample)
+        service.flush()
+    elapsed = time.perf_counter() - started
+    return service.stats(), elapsed
+
+
+def test_multi_shard_throughput_scales(capsys):
+    bursts = burst_stream()
+    rows = ["shards  offered  accepted  rejected  goodput(kS/s)  speedup"]
+    throughput = {}
+    for n_shards in (1, 4, 8):
+        stats, elapsed = run_burst_ingest(n_shards, bursts)
+        goodput = stats.accepted / elapsed
+        throughput[n_shards] = goodput
+        rows.append(
+            f"{n_shards:6d}  {stats.offered:7d}  {stats.accepted:8d}  "
+            f"{stats.rejected:8d}  {goodput / 1e3:13.1f}  "
+            f"{goodput / throughput[1]:6.1f}x"
+        )
+        assert stats.flushed == stats.accepted  # REJECT loses nothing accepted
+
+    emit("Service ingest throughput (bursty load, bounded shard queues)", rows)
+    assert throughput[4] >= 2.0 * throughput[1]
+    assert throughput[8] >= 2.0 * throughput[1]
+
+
+def scan_config():
+    return DetectionConfig(
+        name="bench-service",
+        threshold=0.00005,
+        rerun_interval=6_000.0,
+        windows=WindowSpec(historic=36_000.0, analysis=12_000.0, extended=6_000.0),
+        long_term=False,
+    )
+
+
+def test_scan_latency_drops_per_shard(capsys):
+    rng = np.random.default_rng(5)
+    values = {name: rng.normal(0.001, 0.00002, HIST_TICKS) for name in SERIES}
+
+    rows = ["shards  scans  p50(ms)  p99(ms)  mean(ms)"]
+    mean_latency = {}
+    for n_shards in (1, 4, 8):
+        service = StreamingDetectionService(
+            n_shards=n_shards,
+            queue_capacity=1 << 20,  # uncapped: latency, not backpressure
+            backpressure=BackpressurePolicy.BLOCK,
+            batch_size=4_096,
+        )
+        service.register_monitor("gcpu", scan_config(), series_filter={"metric": "gcpu"})
+        for name in SERIES:
+            service.ingest_many(
+                [
+                    Sample(name, tick * INTERVAL, float(values[name][tick]),
+                           {"metric": "gcpu"})
+                    for tick in range(HIST_TICKS)
+                ]
+            )
+        service.advance_to(HIST_TICKS * INTERVAL)
+
+        histogram = service.metrics.histogram("scheduler.scan_seconds")
+        mean_latency[n_shards] = histogram.mean
+        rows.append(
+            f"{n_shards:6d}  {histogram.count:5d}  "
+            f"{histogram.quantile(0.5) * 1e3:7.2f}  "
+            f"{histogram.quantile(0.99) * 1e3:7.2f}  "
+            f"{histogram.mean * 1e3:8.2f}"
+        )
+
+    emit("Service scan latency (per-scan work shrinks with the shard slice)", rows)
+    # A shard scans only its slice of the series space.
+    assert mean_latency[8] <= mean_latency[1]

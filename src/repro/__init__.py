@@ -33,6 +33,9 @@ Subpackages:
 - :mod:`repro.baselines` — EGADS-style comparison algorithms.
 - :mod:`repro.workloads` — Table 1 synthetic workload generators.
 - :mod:`repro.reporting` — incident reports and funnel summaries.
+- :mod:`repro.runtime` — the scheduler and incident sinks.
+- :mod:`repro.service` — the sharded streaming detection service
+  (consistent-hash routing, backpressure, checkpoints, self-metrics).
 """
 
 from repro.config import TABLE1_CONFIGS, DetectionConfig, table1_config
@@ -47,11 +50,23 @@ from repro.core.types import (
     RegressionGroup,
     RegressionKind,
 )
+from repro.service import (
+    BackpressurePolicy,
+    CheckpointManager,
+    ConsistentHashRouter,
+    MetricsRegistry,
+    Sample,
+    ServiceStats,
+    StreamingDetectionService,
+)
 from repro.tsdb import TimeSeries, TimeSeriesDatabase, WindowSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackpressurePolicy",
+    "CheckpointManager",
+    "ConsistentHashRouter",
     "DetectionConfig",
     "DetectionPipeline",
     "DetectionVerdict",
@@ -59,12 +74,16 @@ __all__ = [
     "FilterReason",
     "FunnelCounters",
     "MetricContext",
+    "MetricsRegistry",
     "PipelineResult",
     "PlannedChange",
     "PlannedChangeCorrelator",
     "Regression",
     "RegressionGroup",
     "RegressionKind",
+    "Sample",
+    "ServiceStats",
+    "StreamingDetectionService",
     "TABLE1_CONFIGS",
     "TimeSeries",
     "TimeSeriesDatabase",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirror the production workflow:
+Four subcommands mirror the production workflow:
 
 - ``repro-fbdetect simulate`` — run a fleet simulation for a Table 1
   workload preset, injecting an optional regression, and dump the
@@ -8,6 +8,9 @@ Three subcommands mirror the production workflow:
 - ``repro-fbdetect detect`` — run detection over a CSV of
   ``timestamp,value`` points with a chosen configuration and print the
   incident reports.
+- ``repro-fbdetect serve-demo`` — stream a fleet simulation through the
+  sharded :class:`~repro.service.StreamingDetectionService` and print
+  the detection funnel plus the service's self-metrics.
 - ``repro-fbdetect presets`` — list the available Table 1 presets.
 
 Example::
@@ -15,6 +18,7 @@ Example::
     repro-fbdetect simulate --preset invoicer_short --regress 1.2 \
         --out /tmp/series.csv
     repro-fbdetect detect /tmp/series.csv --config invoicer_short
+    repro-fbdetect serve-demo --preset invoicer_short --shards 4 --regress 2.0
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -30,6 +35,9 @@ from repro import FBDetect, TimeSeriesDatabase, table1_config
 from repro.config import TABLE1_CONFIGS
 from repro.fleet import ChangeEffect, ChangeLog, CodeChange, FleetSimulator
 from repro.reporting import build_report, format_report
+from repro.reporting.funnel import format_funnel_table
+from repro.runtime import CollectingSink
+from repro.service import BackpressurePolicy, StreamingDetectionService
 from repro.workloads import build_preset, preset_names
 
 __all__ = ["main", "build_parser"]
@@ -71,6 +79,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink the configured windows to span the CSV (default on)",
     )
     detect.add_argument("--threshold", type=float, default=None, help="override threshold")
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="stream a fleet simulation through the sharded detection service",
+    )
+    serve.add_argument("--preset", default="invoicer_short", choices=preset_names())
+    serve.add_argument("--ticks", type=int, default=600, help="collection intervals")
+    serve.add_argument("--interval", type=float, default=60.0, help="seconds per tick")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=4, help="service shard count")
+    serve.add_argument(
+        "--capacity", type=int, default=1024, help="per-shard ingest queue bound"
+    )
+    serve.add_argument(
+        "--policy",
+        default="block",
+        choices=[p.value for p in BackpressurePolicy],
+        help="backpressure policy when a shard queue fills",
+    )
+    serve.add_argument("--batch-size", type=int, default=256, help="TSDB flush batch")
+    serve.add_argument(
+        "--regress",
+        type=float,
+        default=2.0,
+        help="cost factor applied to the hottest subroutine at 60%% of the run "
+        "(e.g. 2.0 = +100%%); 0 disables",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write a service checkpoint here after the run",
+    )
 
     sub.add_parser("presets", help="list Table 1 workload presets")
     return parser
@@ -165,6 +205,88 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0 if result.reported else 1
 
 
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.capacity < 1 or args.batch_size < 1:
+        print("error: --capacity and --batch-size must be positive", file=sys.stderr)
+        return 2
+    preset = build_preset(args.preset, seed=args.seed)
+    graph = preset.service.call_graph
+    probabilities = graph.inclusion_probabilities()
+    hottest = max(
+        (name for name in graph.names() if name != graph.root),
+        key=lambda name: probabilities[name],
+    )
+
+    span = args.ticks * args.interval
+    change_log = ChangeLog()
+    if args.regress:
+        change_log.add(
+            CodeChange(
+                "cli-injected",
+                deploy_time=0.6 * span,
+                title=f"cli: regress {hottest}",
+                effects=(ChangeEffect(hottest, args.regress),),
+            )
+        )
+
+    simulator = FleetSimulator(
+        preset.service, change_log=change_log, interval=args.interval, seed=args.seed
+    )
+
+    # Fit the preset's detection windows and cadence to the demo's span.
+    config = replace(
+        preset.config.with_windows(
+            historic=span * 0.5, analysis=span * 0.3, extended=span * 0.1
+        ),
+        rerun_interval=max(args.interval, span / 10),
+    )
+
+    sink = CollectingSink()
+    service = StreamingDetectionService(
+        n_shards=args.shards,
+        sinks=[sink],
+        queue_capacity=args.capacity,
+        backpressure=BackpressurePolicy(args.policy),
+        batch_size=args.batch_size,
+    )
+    service.register_monitor(
+        args.preset, config, series_filter={"metric": "gcpu"}
+    )
+
+    for _ in range(args.ticks):
+        tick_time = simulator.time
+        simulator.tick()
+        for series in simulator.database:
+            latest = series.latest()
+            if latest is not None and latest[0] == tick_time:
+                service.ingest(series.name, latest[0], latest[1], dict(series.tags))
+        service.advance_to(simulator.time)
+    service.flush()
+
+    stats = service.stats()
+    print(f"streamed {stats.accepted} samples over {args.ticks} ticks "
+          f"({len(simulator.database)} series) through {args.shards} shard(s)")
+    if args.regress:
+        print(f"injected x{args.regress} regression on {hottest} "
+              f"at t={0.6 * span:.0f}")
+    print()
+    print(format_funnel_table({args.preset: service.funnel}))
+    print()
+    print(stats.render())
+    print()
+    print(f"incident reports delivered: {len(sink.reports)}")
+    for report in sink.reports:
+        print(f"  - {report.metric_id} (+{report.relative_magnitude:.1%} "
+              f"at t={report.change_time:.0f})")
+    if args.checkpoint_dir:
+        path = service.checkpoint(args.checkpoint_dir)
+        print(f"\ncheckpoint written to {path}")
+    return 0
+
+
 def _cmd_presets(_: argparse.Namespace) -> int:
     for key in preset_names():
         preset = build_preset(key)
@@ -178,6 +300,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "detect": _cmd_detect,
+        "serve-demo": _cmd_serve_demo,
         "presets": _cmd_presets,
     }
     return handlers[args.command](args)

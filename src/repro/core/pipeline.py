@@ -14,6 +14,7 @@ reproduces Table 3's "remaining anomalies after each technique" rows.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -138,6 +139,12 @@ class DetectionPipeline:
             (AdServing runs without it, per Table 3).
         enable_som_dedup: Ablation switch for SOMDedup.
         enable_pairwise_dedup: Ablation switch for PairwiseDedup.
+        metrics: Optional metrics-registry-like object (must expose
+            ``inc(name, n)`` and ``observe(name, value)``, e.g.
+            :class:`repro.service.metrics.MetricsRegistry`); receives
+            per-stage latency histograms and candidate counters.  Kept
+            duck-typed so the core pipeline does not import the service
+            layer.
     """
 
     def __init__(
@@ -154,6 +161,7 @@ class DetectionPipeline:
         enable_cost_shift: bool = True,
         enable_som_dedup: bool = True,
         enable_pairwise_dedup: bool = True,
+        metrics: Optional[object] = None,
     ) -> None:
         self.config = config
         self.change_log = change_log if change_log is not None else ChangeLog()
@@ -167,6 +175,7 @@ class DetectionPipeline:
         self.enable_cost_shift = enable_cost_shift
         self.enable_som_dedup = enable_som_dedup
         self.enable_pairwise_dedup = enable_pairwise_dedup
+        self.metrics = metrics
 
         self.change_point_detector = ChangePointDetector()
         self.went_away_detector = WentAwayDetector()
@@ -189,9 +198,11 @@ class DetectionPipeline:
 
     def run(self, database: TimeSeriesDatabase, now: float) -> PipelineResult:
         """One periodic detection scan at reference time ``now``."""
+        run_started = time.perf_counter()
         funnel = FunnelCounters()
         candidates: List[Regression] = []
 
+        stage_started = time.perf_counter()
         for series in self._matching_series(database):
             candidate = self._short_term(series, now, funnel)
             if candidate is not None:
@@ -200,18 +211,22 @@ class DetectionPipeline:
                 long_candidate = self._long_term(series, now, funnel)
                 if long_candidate is not None:
                     candidates.append(long_candidate)
+        self._observe_stage("detect", stage_started)
 
         survivors = [c for c in candidates if not c.verdicts or c.verdicts[-1].passed]
 
         # SOMDedup: representatives continue, duplicates stop here.
+        stage_started = time.perf_counter()
         if self.enable_som_dedup:
             groups = self.som_dedup.deduplicate(survivors)
             representatives = [g.representative for g in groups if g.representative]
         else:
             representatives = list(survivors)
         funnel.survived("som_dedup", len(representatives))
+        self._observe_stage("som_dedup", stage_started)
 
         # Cost-shift analysis on the surviving representatives.
+        stage_started = time.perf_counter()
         if self.enable_cost_shift:
             cost_shift = CostShiftDetector(
                 database, samples=self.samples, change_log=self.change_log
@@ -225,8 +240,10 @@ class DetectionPipeline:
         else:
             after_cost_shift = representatives
         funnel.survived("cost_shift", len(after_cost_shift))
+        self._observe_stage("cost_shift", stage_started)
 
         # PairwiseDedup against groups from prior runs.
+        stage_started = time.perf_counter()
         if self.enable_pairwise_dedup:
             touched_groups = self.pairwise_dedup.process(after_cost_shift)
             reported = [
@@ -238,8 +255,10 @@ class DetectionPipeline:
             touched_groups = []
             reported = after_cost_shift
         funnel.survived("pairwise_dedup", len(reported))
+        self._observe_stage("pairwise_dedup", stage_started)
 
         # Root-cause analysis for what gets reported.
+        stage_started = time.perf_counter()
         analyzer = RootCauseAnalyzer(
             self.change_log,
             samples_before=self.samples,
@@ -247,6 +266,15 @@ class DetectionPipeline:
         )
         for regression in reported:
             analyzer.analyze(regression)
+        self._observe_stage("root_cause", stage_started)
+
+        if self.metrics is not None:
+            self.metrics.observe(
+                "pipeline.run_seconds", time.perf_counter() - run_started
+            )
+            self.metrics.inc("pipeline.runs")
+            self.metrics.inc("pipeline.candidates", len(candidates))
+            self.metrics.inc("pipeline.reported", len(reported))
 
         return PipelineResult(
             reported=reported,
@@ -255,6 +283,13 @@ class DetectionPipeline:
             funnel=funnel,
             now=now,
         )
+
+    def _observe_stage(self, stage: str, started: float) -> None:
+        """Record one stage's latency into the optional metrics registry."""
+        if self.metrics is not None:
+            self.metrics.observe(
+                f"pipeline.stage.{stage}_seconds", time.perf_counter() - started
+            )
 
     # ------------------------------------------------------------------
     # Paths

@@ -11,6 +11,7 @@ different time series in parallel.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -64,6 +65,19 @@ class DetectionScheduler:
         max_workers: Parallel scan threads.
         retention: Seconds of history to keep; older points are dropped
             as time advances (0 disables retention).
+        keep_outcomes: Whether to accumulate every :class:`ScanOutcome`
+            in :attr:`outcomes`.  Long-running services disable this so
+            the scheduler's memory (and checkpoint size) stays bounded;
+            :meth:`advance_to` still returns the outcomes it executed.
+        metrics: Optional metrics-registry-like object (must expose
+            ``inc(name, n)`` and ``observe(name, value)``); receives
+            per-scan latency histograms and scan counters.
+
+    Concurrency: :meth:`advance_to` is safe to call from multiple
+    threads — the scheduling loop runs under a lock, so each due scan
+    executes exactly once and monitor state is never advanced twice for
+    the same due time.  Scans within one batch still run in parallel
+    worker threads.
 
     Example::
 
@@ -79,6 +93,8 @@ class DetectionScheduler:
         sinks: Sequence[IncidentSink] = (),
         max_workers: int = 4,
         retention: float = 0.0,
+        keep_outcomes: bool = True,
+        metrics: Optional[object] = None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -88,9 +104,12 @@ class DetectionScheduler:
         self.sinks = list(sinks)
         self.max_workers = max_workers
         self.retention = retention
+        self.keep_outcomes = keep_outcomes
+        self.metrics = metrics
         self._monitors: Dict[str, MonitorRegistration] = {}
         self._clock = 0.0
         self._lock = threading.Lock()
+        self._advance_lock = threading.RLock()
         self.outcomes: List[ScanOutcome] = []
 
     @property
@@ -157,27 +176,30 @@ class DetectionScheduler:
         Raises:
             ValueError: When moving backwards in time.
         """
-        if target < self._clock:
-            raise ValueError(f"cannot move time backwards ({target} < {self._clock})")
-        executed: List[ScanOutcome] = []
+        with self._advance_lock:
+            if target < self._clock:
+                raise ValueError(
+                    f"cannot move time backwards ({target} < {self._clock})"
+                )
+            executed: List[ScanOutcome] = []
 
-        while True:
-            due_time = min(
-                (m.next_run for m in self._monitors.values() if m.next_run <= target),
-                default=None,
-            )
-            if due_time is None:
-                break
-            self._clock = due_time
-            due = [m for m in self._monitors.values() if m.next_run == due_time]
-            executed.extend(self._run_batch(due, due_time))
-            for monitor in due:
-                monitor.next_run = due_time + monitor.detector.config.rerun_interval
-            if self.retention > 0:
-                self.database.apply_retention(due_time - self.retention)
+            while True:
+                due_time = min(
+                    (m.next_run for m in self._monitors.values() if m.next_run <= target),
+                    default=None,
+                )
+                if due_time is None:
+                    break
+                self._clock = due_time
+                due = [m for m in self._monitors.values() if m.next_run == due_time]
+                executed.extend(self._run_batch(due, due_time))
+                for monitor in due:
+                    monitor.next_run = due_time + monitor.detector.config.rerun_interval
+                if self.retention > 0:
+                    self.database.apply_retention(due_time - self.retention)
 
-        self._clock = max(self._clock, target)
-        return executed
+            self._clock = max(self._clock, target)
+            return executed
 
     def _run_batch(
         self, monitors: Sequence[MonitorRegistration], now: float
@@ -185,18 +207,46 @@ class DetectionScheduler:
         outcomes: List[ScanOutcome] = []
 
         def scan(monitor: MonitorRegistration) -> ScanOutcome:
+            started = time.perf_counter()
             result = monitor.detector.run(self.database, now)
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "scheduler.scan_seconds", time.perf_counter() - started
+                )
+                self.metrics.inc("scheduler.scans")
+                self.metrics.inc("scheduler.regressions_reported", len(result.reported))
             return ScanOutcome(monitor=monitor.name, now=now, result=result)
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             for outcome in pool.map(scan, monitors):
                 outcomes.append(outcome)
 
-        with self._lock:
-            self.outcomes.extend(outcomes)
+        if self.keep_outcomes:
+            with self._lock:
+                self.outcomes.extend(outcomes)
         for outcome in outcomes:
             for regression in outcome.result.reported:
                 report = build_report(regression)
                 for sink in self.sinks:
                     sink.deliver(report)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle support: locks are dropped; sinks and metrics are the
+        restoring process's responsibility (delivery targets and shared
+        registries are process-local, not checkpoint state)."""
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        state.pop("_advance_lock", None)
+        state["sinks"] = []
+        state["metrics"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._advance_lock = threading.RLock()

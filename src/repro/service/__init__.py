@@ -1,0 +1,41 @@
+"""Streaming detection service (the operational scale-out layer).
+
+The paper's FBDetect runs as a serverless fleet scanning ~800k
+subroutine-level series in parallel (§5, Figure 6).  This package is the
+single-process seed of that deployment shape: a sharded streaming
+service that routes incoming samples to per-shard ingest workers with
+bounded queues and explicit backpressure, batch-flushes them into
+per-shard TSDBs, runs each shard's :class:`DetectionScheduler`, survives
+restarts through checkpoints, and measures itself with a built-in
+metrics registry (the §6.6 "overhead of the detector itself" story).
+
+Modules:
+
+- :mod:`repro.service.router` — consistent-hash shard routing.
+- :mod:`repro.service.ingest` — bounded ingest queues + backpressure.
+- :mod:`repro.service.checkpoint` — durable checkpoint/restore.
+- :mod:`repro.service.metrics` — counters, gauges, latency histograms.
+- :mod:`repro.service.service` — the composed streaming service.
+"""
+
+from repro.service.checkpoint import CheckpointError, CheckpointManager
+from repro.service.ingest import BackpressurePolicy, Sample, ShardIngestWorker
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.router import ConsistentHashRouter
+from repro.service.service import ServiceStats, ShardStats, StreamingDetectionService
+
+__all__ = [
+    "BackpressurePolicy",
+    "CheckpointError",
+    "CheckpointManager",
+    "ConsistentHashRouter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "ServiceStats",
+    "ShardIngestWorker",
+    "ShardStats",
+    "StreamingDetectionService",
+]

@@ -1,0 +1,147 @@
+"""Durable checkpoint/restore for the streaming service.
+
+Layout of a checkpoint directory::
+
+    manifest.json     # version, generation, service meta, shard index
+    shard-<id>.pkl    # pickled per-shard state (TSDB + scheduler + queue)
+
+The manifest is JSON so operators can inspect a checkpoint without
+unpickling anything; each shard blob carries a SHA-256 recorded in the
+manifest so truncated or corrupted blobs are detected at load time.
+Writes are atomic per file (temp file + ``os.replace``) and the manifest
+is written *last*, so a crash mid-checkpoint leaves the previous
+checkpoint loadable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from typing import Dict, Tuple
+
+__all__ = ["CheckpointError", "CheckpointManager", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or from an unknown version."""
+
+
+class CheckpointManager:
+    """Saves and loads one checkpoint per directory.
+
+    Args:
+        directory: Checkpoint directory (created on first save).
+
+    Example::
+
+        manager = CheckpointManager("/var/lib/repro/ckpt")
+        manager.save({"clock": 5400.0}, {0: shard0_state, 1: shard1_state})
+        meta, shards = manager.load()
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def exists(self) -> bool:
+        """Whether a loadable manifest is present."""
+        return os.path.isfile(self.manifest_path)
+
+    def save(self, meta: dict, shards: Dict[object, object]) -> str:
+        """Write a checkpoint; returns the manifest path.
+
+        Args:
+            meta: JSON-serializable service-level state (clock, ledger,
+                metrics snapshot ...).
+            shards: Picklable per-shard state, keyed by shard id.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        generation = 0
+        if self.exists():
+            try:
+                generation = self._read_manifest().get("generation", 0)
+            except CheckpointError:
+                pass  # overwrite a corrupt checkpoint
+        shard_index = {}
+        for shard_id, state in shards.items():
+            blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            filename = f"shard-{shard_id}.pkl"
+            self._atomic_write(filename, blob)
+            shard_index[str(shard_id)] = {
+                "file": filename,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "bytes": len(blob),
+            }
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "generation": generation + 1,
+            "meta": meta,
+            "shards": shard_index,
+        }
+        self._atomic_write(
+            MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True).encode()
+        )
+        return self.manifest_path
+
+    def load(self) -> Tuple[dict, Dict[str, object]]:
+        """Load the checkpoint; returns ``(meta, {shard_id: state})``.
+
+        Shard ids come back as strings (JSON keys); callers that used
+        int ids convert back.
+
+        Raises:
+            CheckpointError: On a missing manifest, version mismatch, or
+                checksum failure.
+        """
+        manifest = self._read_manifest()
+        version = manifest.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {version!r} != supported {CHECKPOINT_VERSION}"
+            )
+        shards: Dict[str, object] = {}
+        for shard_id, entry in manifest.get("shards", {}).items():
+            path = os.path.join(self.directory, entry["file"])
+            try:
+                with open(path, "rb") as source:
+                    blob = source.read()
+            except OSError as error:
+                raise CheckpointError(f"cannot read shard blob {path}: {error}") from error
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != entry["sha256"]:
+                raise CheckpointError(
+                    f"shard {shard_id} checksum mismatch "
+                    f"(expected {entry['sha256'][:12]}…, got {digest[:12]}…)"
+                )
+            shards[shard_id] = pickle.loads(blob)
+        return manifest.get("meta", {}), shards
+
+    # -- internals -------------------------------------------------------
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as source:
+                return json.load(source)
+        except FileNotFoundError as error:
+            raise CheckpointError(
+                f"no checkpoint manifest at {self.manifest_path}"
+            ) from error
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(f"unreadable manifest: {error}") from error
+
+    def _atomic_write(self, filename: str, payload: bytes) -> None:
+        path = os.path.join(self.directory, filename)
+        temp = path + ".tmp"
+        with open(temp, "wb") as sink:
+            sink.write(payload)
+            sink.flush()
+            os.fsync(sink.fileno())
+        os.replace(temp, path)

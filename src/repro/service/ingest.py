@@ -1,0 +1,205 @@
+"""Per-shard ingest: bounded queues, batch flushing, backpressure.
+
+Each shard owns one :class:`ShardIngestWorker`.  Producers ``offer()``
+samples; the worker buffers them in a bounded queue and batch-flushes
+into the shard's TSDB through
+:meth:`~repro.tsdb.database.TimeSeriesDatabase.write_batch`.  When the
+queue is full, the configured :class:`BackpressurePolicy` decides what
+gives:
+
+- ``BLOCK`` — the *producer* pays: the worker synchronously flushes one
+  batch to make room (caller-runs backpressure — nothing is ever lost,
+  ingestion slows to the flush rate).
+- ``DROP_OLDEST`` — the oldest buffered sample is evicted (bounded
+  staleness; freshest data wins).
+- ``REJECT`` — the offer fails and the producer is told so (load
+  shedding at the edge).
+
+Every policy outcome has a counter, both on the worker (plain ints that
+ride along in checkpoints) and in the optional shared
+:class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Mapping, Optional
+
+from repro.tsdb.database import TimeSeriesDatabase
+
+__all__ = ["Sample", "BackpressurePolicy", "ShardIngestWorker"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One streamed metric point.
+
+    Attributes:
+        name: Series name (also the default routing key).
+        timestamp: Sample time (seconds).
+        value: Metric value.
+        tags: Series tags, applied on series auto-creation.
+    """
+
+    name: str
+    timestamp: float
+    value: float
+    tags: Mapping[str, str] = field(default_factory=dict)
+
+
+class BackpressurePolicy(str, enum.Enum):
+    """What happens when a shard's ingest queue is full."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop_oldest"
+    REJECT = "reject"
+
+
+class ShardIngestWorker:
+    """Bounded ingest queue + batch flusher for one shard.
+
+    Args:
+        shard_id: Owning shard (labels counters and checkpoints).
+        database: The shard's TSDB.
+        capacity: Queue bound; offers beyond it trigger the policy.
+        policy: Backpressure policy (see module docstring).
+        batch_size: Samples per TSDB write batch.
+        metrics: Optional shared metrics registry.
+
+    Thread-safe: producers may ``offer()`` concurrently with ``flush()``.
+    """
+
+    def __init__(
+        self,
+        shard_id: object,
+        database: TimeSeriesDatabase,
+        capacity: int = 1024,
+        policy: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST,
+        batch_size: int = 256,
+        metrics: Optional[object] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.shard_id = shard_id
+        self.database = database
+        self.capacity = capacity
+        self.policy = BackpressurePolicy(policy)
+        self.batch_size = batch_size
+        self.metrics = metrics
+        self._queue: Deque[Sample] = deque()
+        self._lock = threading.RLock()
+        # Plain-int counters: picklable, cheap, checkpointed with the shard.
+        self.offered = 0
+        self.accepted = 0
+        self.flushed = 0
+        self.dropped_oldest = 0
+        self.rejected = 0
+        self.blocking_flushes = 0
+        self.flushes = 0
+
+    # -- producer side --------------------------------------------------
+
+    def offer(self, sample: Sample) -> bool:
+        """Enqueue one sample, applying backpressure when full.
+
+        Returns:
+            ``True`` when the sample was buffered; ``False`` only under
+            the ``REJECT`` policy with a full queue.
+        """
+        with self._lock:
+            self.offered += 1
+            if len(self._queue) >= self.capacity:
+                if self.policy is BackpressurePolicy.REJECT:
+                    self.rejected += 1
+                    self._inc("ingest.rejected")
+                    return False
+                if self.policy is BackpressurePolicy.DROP_OLDEST:
+                    self._queue.popleft()
+                    self.dropped_oldest += 1
+                    self._inc("ingest.dropped_oldest")
+                else:  # BLOCK: caller-runs — flush a batch to make room.
+                    self.blocking_flushes += 1
+                    self._inc("ingest.blocking_flushes")
+                    self._flush_batch()
+            self._queue.append(sample)
+            self.accepted += 1
+            self._inc("ingest.accepted")
+            return True
+
+    def offer_many(self, samples: Iterable[Sample]) -> int:
+        """Offer each sample; returns how many were accepted."""
+        return sum(1 for sample in samples if self.offer(sample))
+
+    @property
+    def pending(self) -> int:
+        """Samples buffered but not yet flushed."""
+        return len(self._queue)
+
+    # -- flush side ------------------------------------------------------
+
+    def flush(self) -> int:
+        """Drain the whole queue into the TSDB in ``batch_size`` batches.
+
+        Returns:
+            Number of samples written.
+        """
+        written = 0
+        with self._lock:
+            while self._queue:
+                written += self._flush_batch()
+        return written
+
+    def _flush_batch(self) -> int:
+        """Write up to one batch (caller holds the lock)."""
+        if not self._queue:
+            return 0
+        batch = [
+            self._queue.popleft()
+            for _ in range(min(self.batch_size, len(self._queue)))
+        ]
+        started = time.perf_counter()
+        written = self.database.write_batch(
+            (s.name, s.timestamp, s.value, s.tags) for s in batch
+        )
+        self.flushed += written
+        self.flushes += 1
+        if self.metrics is not None:
+            self.metrics.inc("ingest.flushed", written)
+            self.metrics.observe("ingest.flush_seconds", time.perf_counter() - started)
+        return written
+
+    # -- introspection / pickling ----------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Backpressure and flush counters as a plain dict."""
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "flushed": self.flushed,
+            "pending": self.pending,
+            "dropped_oldest": self.dropped_oldest,
+            "rejected": self.rejected,
+            "blocking_flushes": self.blocking_flushes,
+            "flushes": self.flushes,
+        }
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        # The shared registry is restored by the service, not the pickle.
+        state["metrics"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

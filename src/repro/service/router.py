@@ -1,0 +1,114 @@
+"""Consistent-hash shard routing.
+
+Maps series keys to shards the way the paper's serverless deployment
+spreads ~800k series across workers: a hash ring with virtual nodes, so
+(a) routing is deterministic across processes and restarts (the digest
+is :func:`hashlib.blake2b`, immune to ``PYTHONHASHSEED``), (b) load
+spreads evenly, and (c) adding or removing a shard only remaps the keys
+that touched it — the property every later resharding PR relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _hash64(key: str) -> int:
+    """A stable 64-bit digest of ``key`` (process-independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRouter:
+    """A hash ring mapping series keys to shard ids.
+
+    Args:
+        shards: Initial shard ids (any hashable, typically ints).
+        replicas: Virtual nodes per shard; more replicas smooth the load
+            distribution at the cost of a larger ring.
+
+    Example::
+
+        router = ConsistentHashRouter(range(4))
+        shard = router.shard_for("frontfaas.render_feed.gcpu")
+    """
+
+    def __init__(self, shards: Iterable[Hashable] = (), replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: List[Hashable] = []
+        self._shards: List[Hashable] = []
+        for shard in shards:
+            self.add_shard(shard)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: Hashable) -> bool:
+        return shard in self._shards
+
+    @property
+    def shards(self) -> List[Hashable]:
+        """Registered shard ids, in insertion order."""
+        return list(self._shards)
+
+    def _ring_points(self, shard: Hashable) -> List[int]:
+        return [_hash64(f"{shard!r}#{replica}") for replica in range(self.replicas)]
+
+    def add_shard(self, shard: Hashable) -> None:
+        """Add a shard to the ring.
+
+        Raises:
+            ValueError: When the shard is already registered.
+        """
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already registered")
+        self._shards.append(shard)
+        for point in self._ring_points(shard):
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove_shard(self, shard: Hashable) -> None:
+        """Remove a shard; its keys redistribute to ring successors.
+
+        Raises:
+            ValueError: When the shard is not registered.
+        """
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not registered")
+        self._shards.remove(shard)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def shard_for(self, key: str) -> Hashable:
+        """The shard owning ``key``.
+
+        Raises:
+            RuntimeError: When the ring is empty.
+        """
+        if not self._points:
+            raise RuntimeError("router has no shards")
+        index = bisect.bisect(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[Hashable, int]:
+        """Per-shard key counts for ``keys`` (balance diagnostics)."""
+        counts: Dict[Hashable, int] = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

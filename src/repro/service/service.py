@@ -1,0 +1,512 @@
+"""The sharded streaming detection service.
+
+Composes the pieces of this package into the paper's deployment shape
+(§5.1: a serverless fleet scanning different series in parallel),
+scaled down to one process:
+
+- a :class:`~repro.service.router.ConsistentHashRouter` maps each
+  sample's series name to a shard;
+- every shard owns its own
+  :class:`~repro.tsdb.database.TimeSeriesDatabase`, a
+  :class:`~repro.service.ingest.ShardIngestWorker` (bounded queue +
+  backpressure + batch flush), and a
+  :class:`~repro.runtime.scheduler.DetectionScheduler` whose monitors
+  carry the per-shard FBDetect dedup state;
+- :meth:`StreamingDetectionService.advance_to` flushes queues, runs due
+  scans, filters re-alerts through a durable reported-ledger, and
+  delivers :class:`~repro.reporting.report.IncidentReport`\\ s to sinks;
+- :meth:`StreamingDetectionService.checkpoint` /
+  :meth:`StreamingDetectionService.restore` persist the whole thing so
+  a restarted service resumes without re-alerting on regressions it
+  already reported — and without losing queued samples.
+
+Deduplication scope: SOM/pairwise dedup runs *within* a shard (each
+shard has its own detectors).  Cross-shard correlation is a later PR;
+series of one service hash to one shard only by key-prefix accident, so
+the router accepts a custom ``routing_key`` to co-locate related series
+when cross-series dedup matters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import DetectionConfig
+from repro.core.pipeline import FunnelCounters
+from repro.core.types import Regression
+from repro.reporting.report import IncidentReport, build_report
+from repro.runtime.scheduler import DetectionScheduler
+from repro.runtime.sinks import IncidentSink
+from repro.service.checkpoint import CheckpointManager
+from repro.service.ingest import BackpressurePolicy, Sample, ShardIngestWorker
+from repro.service.metrics import MetricsRegistry
+from repro.service.router import ConsistentHashRouter
+from repro.tsdb.database import TimeSeriesDatabase
+
+__all__ = ["ShardStats", "ServiceStats", "StreamingDetectionService"]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's health snapshot."""
+
+    shard_id: int
+    series: int
+    pending: int
+    counters: Dict[str, int]
+    scans: int
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Whole-service health snapshot (returned by :meth:`stats`).
+
+    Attributes:
+        clock: Last advanced detection time.
+        n_shards: Shard count.
+        offered/accepted/flushed/dropped/rejected: Ingest totals across
+            shards.
+        scans: Detection scans executed.
+        reported: Incident reports delivered to sinks.
+        suppressed_realerts: Reports suppressed by the reported-ledger
+            (non-zero only when replayed data re-surfaces a regression
+            the service already alerted on, e.g. after a restore).
+        shards: Per-shard breakdowns.
+        metrics: Full self-metrics snapshot (counters, gauges, latency
+            histograms).
+    """
+
+    clock: float
+    n_shards: int
+    offered: int
+    accepted: int
+    flushed: int
+    dropped: int
+    rejected: int
+    scans: int
+    reported: int
+    suppressed_realerts: int
+    shards: List[ShardStats]
+    metrics: dict
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"ServiceStats @ t={self.clock:g}",
+            f"  shards={self.n_shards} scans={self.scans} "
+            f"reported={self.reported} suppressed_realerts={self.suppressed_realerts}",
+            f"  ingest: offered={self.offered} accepted={self.accepted} "
+            f"flushed={self.flushed} dropped={self.dropped} rejected={self.rejected}",
+        ]
+        for shard in self.shards:
+            counters = shard.counters
+            lines.append(
+                f"  shard {shard.shard_id}: series={shard.series} "
+                f"pending={shard.pending} accepted={counters['accepted']} "
+                f"flushed={counters['flushed']} dropped={counters['dropped_oldest']} "
+                f"rejected={counters['rejected']} scans={shard.scans}"
+            )
+        histograms = self.metrics.get("histograms", {})
+        scan = histograms.get("scheduler.scan_seconds")
+        if scan and scan["count"]:
+            lines.append(
+                f"  scan latency: n={scan['count']} "
+                f"mean={scan['sum'] / scan['count'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+class _Shard:
+    """One shard: its TSDB, ingest worker, scheduler, and counters."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        queue_capacity: int,
+        backpressure: BackpressurePolicy,
+        batch_size: int,
+        max_workers: int,
+        retention: float,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.shard_id = shard_id
+        self.database = TimeSeriesDatabase()
+        self.worker = ShardIngestWorker(
+            shard_id,
+            self.database,
+            capacity=queue_capacity,
+            policy=backpressure,
+            batch_size=batch_size,
+            metrics=metrics,
+        )
+        self.scheduler = DetectionScheduler(
+            self.database,
+            max_workers=max_workers,
+            retention=retention,
+            keep_outcomes=False,
+            metrics=metrics,
+        )
+        self.scans = 0
+
+    def state(self) -> dict:
+        """Checkpointable state (pickled as one blob, shared refs intact)."""
+        return {
+            "database": self.database,
+            "worker": self.worker,
+            "scheduler": self.scheduler,
+            "scans": self.scans,
+        }
+
+    def load_state(self, state: dict, metrics: MetricsRegistry) -> None:
+        self.database = state["database"]
+        self.worker = state["worker"]
+        self.scheduler = state["scheduler"]
+        self.scans = state.get("scans", 0)
+        # Rewire the process-local metrics registry (dropped on pickle).
+        self.worker.metrics = metrics
+        self.scheduler.metrics = metrics
+        for name in self.scheduler.monitors():
+            registration = self.scheduler._monitors[name]
+            registration.detector.pipeline.metrics = metrics
+
+
+class StreamingDetectionService:
+    """Sharded streaming ingestion + detection with self-metrics.
+
+    Args:
+        n_shards: Number of shards (each with its own TSDB, queue, and
+            detector state).
+        sinks: Incident sinks for delivered reports.
+        queue_capacity: Per-shard ingest queue bound.
+        backpressure: Policy when a shard queue is full.
+        batch_size: Samples per TSDB flush batch.
+        max_workers_per_shard: Parallel scan threads per shard.
+        retention: Per-shard TSDB retention (seconds; 0 disables).
+        replicas: Virtual nodes per shard on the hash ring.
+        routing_key: Maps a sample to its routing key (default: the
+            series name).  Use a coarser key (e.g. the service tag) to
+            co-locate series whose cross-series dedup matters.
+        realert_tolerance: Window (seconds of change time) within which
+            a regression on the same metric counts as already reported.
+
+    Example::
+
+        service = StreamingDetectionService(n_shards=4, sinks=[sink])
+        service.register_monitor("gcpu", config, series_filter={"metric": "gcpu"})
+        for sample in stream:
+            service.ingest(sample.name, sample.timestamp, sample.value, sample.tags)
+        service.advance_to(stream_end)
+        print(service.stats().render())
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        sinks: Sequence[IncidentSink] = (),
+        queue_capacity: int = 1024,
+        backpressure: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST,
+        batch_size: int = 256,
+        max_workers_per_shard: int = 2,
+        retention: float = 0.0,
+        replicas: int = 64,
+        routing_key: Optional[Callable[[Sample], str]] = None,
+        realert_tolerance: float = 3600.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = n_shards
+        self.sinks = list(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.router = ConsistentHashRouter(range(n_shards), replicas=replicas)
+        self.routing_key = routing_key or (lambda sample: sample.name)
+        self.realert_tolerance = realert_tolerance
+        self._shards: Dict[int, _Shard] = {
+            shard_id: _Shard(
+                shard_id,
+                queue_capacity=queue_capacity,
+                backpressure=BackpressurePolicy(backpressure),
+                batch_size=batch_size,
+                max_workers=max_workers_per_shard,
+                retention=retention,
+                metrics=self.metrics,
+            )
+            for shard_id in range(n_shards)
+        }
+        self._clock = 0.0
+        self._reported_ledger: Dict[str, List[float]] = {}
+        self._suppressed_realerts = 0
+        self._reported = 0
+        self.funnel = FunnelCounters()
+        self._monitor_specs: List[dict] = []
+        self._flushers: List[threading.Thread] = []
+        self._stop_flushers = threading.Event()
+        self.metrics.set_gauge("service.shards", n_shards)
+
+    # ------------------------------------------------------------------
+    # Monitors
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def register_monitor(
+        self,
+        name: str,
+        config: DetectionConfig,
+        series_filter: Optional[Dict[str, str]] = None,
+        first_run: Optional[float] = None,
+        **detector_kwargs,
+    ) -> None:
+        """Register a monitor on *every* shard.
+
+        Each shard gets its own detector (and dedup state) scanning the
+        shard-local slice of the series space.
+        """
+        for shard in self._shards.values():
+            shard.scheduler.register(
+                name,
+                config,
+                series_filter=series_filter,
+                first_run=first_run,
+                metrics=self.metrics,
+                **detector_kwargs,
+            )
+        self._monitor_specs.append(
+            {"name": name, "config": config.name, "series_filter": dict(series_filter or {})}
+        )
+
+    def monitors(self) -> List[str]:
+        """Registered monitor names (identical on every shard)."""
+        if not self._shards:
+            return []
+        return next(iter(self._shards.values())).scheduler.monitors()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        name: str,
+        timestamp: float,
+        value: float,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> bool:
+        """Route one point to its shard; returns whether it was accepted."""
+        return self.ingest_sample(Sample(name, timestamp, value, tags or {}))
+
+    def ingest_sample(self, sample: Sample) -> bool:
+        shard_id = self.router.shard_for(self.routing_key(sample))
+        return self._shards[shard_id].worker.offer(sample)
+
+    def ingest_many(self, samples: Sequence[Sample]) -> int:
+        """Offer each sample; returns how many were accepted."""
+        return sum(1 for sample in samples if self.ingest_sample(sample))
+
+    def flush(self) -> int:
+        """Drain every shard queue into its TSDB; returns samples written."""
+        return sum(shard.worker.flush() for shard in self._shards.values())
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def advance_to(self, target: float) -> List[IncidentReport]:
+        """Flush queues, run every due scan, and deliver new reports.
+
+        Regressions whose (metric, change time) the service has already
+        alerted on — in this life or a checkpointed previous one — are
+        suppressed instead of re-delivered.
+
+        Returns:
+            The incident reports delivered to sinks by this call.
+        """
+        delivered: List[IncidentReport] = []
+        with self.metrics.timer("service.advance_seconds"):
+            for shard in self._shards.values():
+                shard.worker.flush()
+                outcomes = shard.scheduler.advance_to(target)
+                shard.scans += len(outcomes)
+                for outcome in outcomes:
+                    self.funnel.merge(outcome.result.funnel)
+                    for regression in outcome.result.reported:
+                        if not self._ledger_admit(regression):
+                            self._suppressed_realerts += 1
+                            self.metrics.inc("service.reports.suppressed")
+                            continue
+                        report = build_report(regression)
+                        for sink in self.sinks:
+                            sink.deliver(report)
+                        delivered.append(report)
+                        self._reported += 1
+                        self.metrics.inc("service.reports.delivered")
+                self.metrics.set_gauge(
+                    f"service.shard{shard.shard_id}.series", len(shard.database)
+                )
+        self._clock = max(self._clock, target)
+        return delivered
+
+    def _ledger_admit(self, regression: Regression) -> bool:
+        """Record-and-admit unless already reported within tolerance."""
+        metric = regression.context.metric_id
+        priors = self._reported_ledger.setdefault(metric, [])
+        for prior in priors:
+            if abs(prior - regression.change_time) <= self.realert_tolerance:
+                return False
+        priors.append(float(regression.change_time))
+        return True
+
+    # ------------------------------------------------------------------
+    # Background flushing (live streaming mode)
+    # ------------------------------------------------------------------
+
+    def start(self, flush_interval: float = 0.05) -> None:
+        """Start one background flusher thread per shard.
+
+        Detection still runs through explicit :meth:`advance_to` calls
+        (time is caller-owned); the flushers only keep bounded queues
+        draining between them.
+        """
+        if self._flushers:
+            raise RuntimeError("service already started")
+        self._stop_flushers.clear()
+
+        def drain(shard: _Shard) -> None:
+            while not self._stop_flushers.wait(flush_interval):
+                shard.worker.flush()
+
+        for shard in self._shards.values():
+            thread = threading.Thread(
+                target=drain, args=(shard,), name=f"repro-shard-{shard.shard_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._flushers.append(thread)
+
+    def stop(self) -> None:
+        """Stop background flushers and drain what is left."""
+        self._stop_flushers.set()
+        for thread in self._flushers:
+            thread.join(timeout=5.0)
+        self._flushers.clear()
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of service health."""
+        shards = []
+        totals = {"offered": 0, "accepted": 0, "flushed": 0,
+                  "dropped_oldest": 0, "rejected": 0}
+        scans = 0
+        for shard in self._shards.values():
+            counters = shard.worker.counters()
+            for key in totals:
+                totals[key] += counters[key]
+            scans += shard.scans
+            shards.append(
+                ShardStats(
+                    shard_id=shard.shard_id,
+                    series=len(shard.database),
+                    pending=shard.worker.pending,
+                    counters=counters,
+                    scans=shard.scans,
+                )
+            )
+        return ServiceStats(
+            clock=self._clock,
+            n_shards=self.n_shards,
+            offered=totals["offered"],
+            accepted=totals["accepted"],
+            flushed=totals["flushed"],
+            dropped=totals["dropped_oldest"],
+            rejected=totals["rejected"],
+            scans=scans,
+            reported=self._reported,
+            suppressed_realerts=self._suppressed_realerts,
+            shards=shards,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def render_metrics(self) -> str:
+        """Text exposition of the self-metrics registry."""
+        return self.metrics.render_text()
+
+    def shard_database(self, shard_id: int) -> TimeSeriesDatabase:
+        """Direct access to one shard's TSDB (tests, demos)."""
+        return self._shards[shard_id].database
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, directory: str) -> str:
+        """Write a full checkpoint; returns the manifest path.
+
+        Captures per-shard TSDBs, un-flushed queue contents, scheduler
+        clocks and detector/dedup state, the reported-ledger, the
+        aggregate funnel, and a metrics snapshot.
+        """
+        meta = {
+            "clock": self._clock,
+            "n_shards": self.n_shards,
+            "replicas": self.router.replicas,
+            "realert_tolerance": self.realert_tolerance,
+            "reported": self._reported,
+            "suppressed_realerts": self._suppressed_realerts,
+            "reported_ledger": {k: list(v) for k, v in self._reported_ledger.items()},
+            "funnel": dict(self.funnel.counts),
+            "monitors": list(self._monitor_specs),
+            "metrics": self.metrics.snapshot(),
+        }
+        manager = CheckpointManager(directory)
+        return manager.save(
+            meta, {shard.shard_id: shard.state() for shard in self._shards.values()}
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        sinks: Sequence[IncidentSink] = (),
+        **service_kwargs,
+    ) -> "StreamingDetectionService":
+        """Rebuild a service from a checkpoint directory.
+
+        The restored service resumes exactly where the checkpointed one
+        stopped: queued-but-unflushed samples are still queued, and
+        regressions already reported are not re-alerted.
+
+        Raises:
+            CheckpointError: When the checkpoint is missing or corrupt.
+        """
+        meta, shard_states = CheckpointManager(directory).load()
+        service = cls(
+            n_shards=meta["n_shards"],
+            sinks=sinks,
+            replicas=meta.get("replicas", 64),
+            realert_tolerance=meta.get("realert_tolerance", 3600.0),
+            **service_kwargs,
+        )
+        for shard_key, state in shard_states.items():
+            service._shards[int(shard_key)].load_state(state, service.metrics)
+        service._clock = meta.get("clock", 0.0)
+        service._reported = meta.get("reported", 0)
+        service._suppressed_realerts = meta.get("suppressed_realerts", 0)
+        service._reported_ledger = {
+            k: list(v) for k, v in meta.get("reported_ledger", {}).items()
+        }
+        service.funnel = FunnelCounters()
+        for stage, count in (meta.get("funnel") or {}).items():
+            service.funnel.counts[stage] = count
+        service._monitor_specs = list(meta.get("monitors", []))
+        service.metrics.restore(meta.get("metrics", {}))
+        service.metrics.set_gauge("service.shards", service.n_shards)
+        service.metrics.inc("service.restores")
+        return service

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.tsdb.series import TimeSeries
 
@@ -54,6 +54,33 @@ class TimeSeriesDatabase:
     ) -> None:
         """Append one point, creating the series if needed."""
         self.create(name, tags).append(timestamp, value)
+
+    def write_batch(
+        self,
+        points: Iterable[Tuple[str, float, float, Optional[Mapping[str, str]]]],
+    ) -> int:
+        """Write many ``(name, timestamp, value, tags)`` points at once.
+
+        The streaming-service flush path: points are grouped by series
+        so each series pays one lookup (and one tag merge) per batch
+        rather than per point, then bulk-appended via
+        :meth:`TimeSeries.ingest_many`.
+
+        Returns:
+            Number of points written.
+        """
+        grouped: Dict[str, List[Tuple[float, float]]] = {}
+        tags_for: Dict[str, Optional[Mapping[str, str]]] = {}
+        for name, timestamp, value, tags in points:
+            bucket = grouped.get(name)
+            if bucket is None:
+                bucket = grouped[name] = []
+                tags_for[name] = tags
+            bucket.append((timestamp, value))
+        written = 0
+        for name, bucket in grouped.items():
+            written += self.create(name, tags_for[name]).ingest_many(bucket)
+        return written
 
     def query(self, **tag_filters: str) -> List[TimeSeries]:
         """Series whose tags match all ``tag_filters`` exactly.

@@ -63,6 +63,36 @@ class TimeSeries:
         self._timestamps.insert(pos, float(timestamp))
         self._values.insert(pos, float(value))
 
+    def ingest_many(self, points: Iterable[Tuple[float, float]]) -> int:
+        """Bulk-append ``points``, tolerating stragglers.
+
+        The streaming ingest path: in-order points take the append fast
+        path; out-of-order ones (late arrivals from concurrent
+        producers) fall back to a sorted insert instead of raising.
+
+        Returns:
+            Number of points written.
+        """
+        timestamps, values = self._timestamps, self._values
+        last = timestamps[-1] if timestamps else float("-inf")
+        written = 0
+        for timestamp, value in points:
+            timestamp = float(timestamp)
+            if timestamp >= last:
+                timestamps.append(timestamp)
+                values.append(float(value))
+                last = timestamp
+            else:
+                self.insert(timestamp, value)
+            written += 1
+        return written
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """The most recent ``(timestamp, value)`` point, if any."""
+        if not self._timestamps:
+            return None
+        return self._timestamps[-1], self._values[-1]
+
     @property
     def timestamps(self) -> np.ndarray:
         """Timestamps as a numpy array (copy)."""

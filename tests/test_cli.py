@@ -112,3 +112,41 @@ class TestDetectCommand:
             for i, value in enumerate(values):
                 writer.writerow([i * 60.0, value])
         assert main(["detect", str(path), "--config", "frontfaas_small"]) == 0
+
+
+class TestServeDemoCommand:
+    def test_streams_and_prints_stats(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--preset", "invoicer_short",
+                "--ticks", "120",
+                "--shards", "2",
+                "--regress", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "through 2 shard(s)" in out
+        assert "ServiceStats" in out
+        assert "incident reports delivered:" in out
+
+    def test_checkpoint_dir_written(self, tmp_path, capsys):
+        directory = tmp_path / "ckpt"
+        code = main(
+            [
+                "serve-demo",
+                "--preset", "invoicer_short",
+                "--ticks", "60",
+                "--shards", "1",
+                "--regress", "0",
+                "--checkpoint-dir", str(directory),
+            ]
+        )
+        assert code == 0
+        assert (directory / "manifest.json").is_file()
+        assert "checkpoint written to" in capsys.readouterr().out
+
+    def test_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-demo", "--policy", "explode"])

@@ -1,0 +1,226 @@
+"""Tests for repro.service.checkpoint and service-level kill/restore.
+
+The headline test streams a fleet through the service, kills it after
+the first incident report, restores from the checkpoint, replays the
+rest of the stream, and asserts the restored run delivers exactly the
+reports the uninterrupted run would have — no losses, no re-alerts.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.runtime import CollectingSink
+from repro.service import (
+    BackpressurePolicy,
+    CheckpointError,
+    CheckpointManager,
+    Sample,
+    StreamingDetectionService,
+)
+from repro.tsdb import WindowSpec
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="test",
+        threshold=0.00005,
+        rerun_interval=6_000.0,
+        windows=WindowSpec(historic=36_000.0, analysis=12_000.0, extended=6_000.0),
+        long_term=False,
+    )
+    defaults.update(overrides)
+    return DetectionConfig(**defaults)
+
+
+class TestCheckpointManager:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        meta = {"clock": 5400.0, "ledger": {"svc.sub.gcpu": [1200.0]}}
+        shards = {0: {"queue": [1, 2, 3]}, 1: {"queue": []}}
+        manifest_path = manager.save(meta, shards)
+        assert os.path.isfile(manifest_path)
+        assert manager.exists()
+
+        loaded_meta, loaded_shards = manager.load()
+        assert loaded_meta == meta
+        # JSON stringifies the shard keys; payloads survive pickling.
+        assert loaded_shards == {"0": {"queue": [1, 2, 3]}, "1": {"queue": []}}
+
+    def test_generation_increments(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({}, {0: "a"})
+        manager.save({}, {0: "b"})
+        with open(manager.manifest_path, encoding="utf-8") as source:
+            assert json.load(source)["generation"] == 2
+
+    def test_missing_manifest_raises(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "nowhere"))
+        assert not manager.exists()
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            manager.load()
+
+    def test_corrupt_blob_detected(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({}, {0: list(range(100))})
+        blob_path = tmp_path / "shard-0.pkl"
+        payload = bytearray(blob_path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        blob_path.write_bytes(bytes(payload))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            manager.load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({}, {0: "x"})
+        with open(manager.manifest_path, encoding="utf-8") as source:
+            manifest = json.load(source)
+        manifest["version"] = 99
+        with open(manager.manifest_path, "w", encoding="utf-8") as sink:
+            json.dump(manifest, sink)
+        with pytest.raises(CheckpointError, match="version"):
+            manager.load()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({}, {})
+        with open(manager.manifest_path, "w", encoding="utf-8") as sink:
+            sink.write("{not json")
+        with pytest.raises(CheckpointError, match="unreadable manifest"):
+            manager.load()
+
+
+# -- streaming kill/restore equivalence ---------------------------------
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+CHANGE_TICK = 700  # regression lands at t=42000, inside the first scan's window
+KILL_TICK = 950  # after the first scan (t=54000) has reported
+SERIES = [f"svc.sub{i}.gcpu" for i in range(8)]
+
+
+def make_stream(seed=7):
+    """Per-tick sample batches; svc.sub3 regresses at CHANGE_TICK."""
+    rng = np.random.default_rng(seed)
+    table = {}
+    for index, name in enumerate(SERIES):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == 3:
+            values[CHANGE_TICK:] += 0.0003
+        table[name] = values
+    return [
+        [
+            Sample(
+                name,
+                tick * INTERVAL,
+                float(table[name][tick]),
+                {"metric": "gcpu", "service": "svc", "subroutine": name.split(".")[1]},
+            )
+            for name in SERIES
+        ]
+        for tick in range(N_TICKS)
+    ]
+
+
+def make_service(sink):
+    service = StreamingDetectionService(
+        n_shards=2,
+        sinks=[sink],
+        queue_capacity=256,
+        backpressure=BackpressurePolicy.BLOCK,
+        batch_size=64,
+    )
+    service.register_monitor("gcpu", small_config(), series_filter={"metric": "gcpu"})
+    return service
+
+
+def feed(service, ticks, start, end, chunk=100):
+    """Stream ticks [start, end), advancing detection after each chunk."""
+    for begin in range(start, end, chunk):
+        batch = ticks[begin : min(begin + chunk, end)]
+        for tick in batch:
+            for sample in tick:
+                service.ingest_sample(sample)
+        service.advance_to(batch[-1][0].timestamp + INTERVAL)
+
+
+def report_keys(reports):
+    return [(r.metric_id, r.change_time) for r in reports]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream()
+
+
+class TestKillRestoreEquivalence:
+    def test_restored_run_matches_uninterrupted(self, stream, tmp_path):
+        # Reference: one service sees the whole stream.
+        reference_sink = CollectingSink()
+        reference = make_service(reference_sink)
+        feed(reference, stream, 0, N_TICKS)
+
+        # Interrupted: kill after the first report, restore, replay the rest.
+        sink_before = CollectingSink()
+        victim = make_service(sink_before)
+        feed(victim, stream, 0, KILL_TICK)
+        assert sink_before.reports, "first report must land before the kill"
+
+        directory = str(tmp_path / "ckpt")
+        victim.checkpoint(directory)
+        del victim  # the "crash"
+
+        sink_after = CollectingSink()
+        restored = StreamingDetectionService.restore(directory, sinks=[sink_after])
+        feed(restored, stream, KILL_TICK, N_TICKS)
+
+        combined = report_keys(sink_before.reports) + report_keys(sink_after.reports)
+        assert combined == report_keys(reference_sink.reports)
+        assert len(set(combined)) == len(combined), "duplicate report after restore"
+        assert {r.metric_id for r in sink_before.reports} == {"svc.sub3.gcpu"}
+
+        # The restored service kept counting where the victim stopped.
+        stats = restored.stats()
+        assert stats.reported == len(combined)
+        assert stats.scans == reference.stats().scans
+        assert stats.clock == reference.stats().clock
+
+    def test_restore_preserves_series_and_ledger(self, stream, tmp_path):
+        sink = CollectingSink()
+        service = make_service(sink)
+        feed(service, stream, 0, KILL_TICK)
+        directory = str(tmp_path / "ckpt")
+        service.checkpoint(directory)
+
+        restored = StreamingDetectionService.restore(directory)
+        assert restored.clock == service.clock
+        assert restored.monitors() == ["gcpu"]
+        assert restored._reported_ledger == service._reported_ledger
+        assert restored.funnel.counts == service.funnel.counts
+        total_series = sum(
+            len(restored.shard_database(shard_id)) for shard_id in range(2)
+        )
+        assert total_series == len(SERIES)
+
+    def test_queued_unflushed_samples_survive(self, tmp_path):
+        service = StreamingDetectionService(n_shards=2, queue_capacity=64)
+        for index in range(10):
+            service.ingest(f"q.sub{index}.gcpu", 60.0 * index, 0.001)
+        assert service.stats().flushed == 0  # still queued
+
+        directory = str(tmp_path / "ckpt")
+        service.checkpoint(directory)
+        restored = StreamingDetectionService.restore(directory)
+        assert restored.stats().accepted == 10
+        assert restored.flush() == 10
+        total_series = sum(
+            len(restored.shard_database(shard_id)) for shard_id in range(2)
+        )
+        assert total_series == 10
+
+    def test_restore_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            StreamingDetectionService.restore(str(tmp_path / "empty"))

@@ -1,0 +1,129 @@
+"""Tests for repro.service.ingest (bounded queues and backpressure)."""
+
+import pytest
+
+from repro.service import BackpressurePolicy, MetricsRegistry, Sample, ShardIngestWorker
+from repro.tsdb import TimeSeriesDatabase
+
+
+def samples(n, name="s.gcpu", start=0.0):
+    return [Sample(name, start + i * 60.0, float(i + 1)) for i in range(n)]
+
+
+def make_worker(policy, capacity=4, batch_size=2, metrics=None):
+    db = TimeSeriesDatabase()
+    worker = ShardIngestWorker(
+        0, db, capacity=capacity, policy=policy, batch_size=batch_size, metrics=metrics
+    )
+    return db, worker
+
+
+class TestRejectPolicy:
+    def test_rejects_beyond_capacity(self):
+        db, worker = make_worker(BackpressurePolicy.REJECT)
+        results = [worker.offer(s) for s in samples(6)]
+        assert results == [True] * 4 + [False] * 2
+        assert worker.rejected == 2
+        assert worker.pending == 4
+
+    def test_rejected_samples_never_reach_tsdb(self):
+        db, worker = make_worker(BackpressurePolicy.REJECT)
+        for s in samples(6):
+            worker.offer(s)
+        worker.flush()
+        series = db.get("s.gcpu")
+        # The oldest 4 were kept; the newest 2 rejected.
+        assert list(series.values) == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestDropOldestPolicy:
+    def test_oldest_evicted(self):
+        db, worker = make_worker(BackpressurePolicy.DROP_OLDEST)
+        for s in samples(6):
+            assert worker.offer(s)  # drop-oldest never refuses the new sample
+        assert worker.dropped_oldest == 2
+        worker.flush()
+        # The newest 4 survived.
+        assert list(db.get("s.gcpu").values) == [3.0, 4.0, 5.0, 6.0]
+
+
+class TestBlockPolicy:
+    def test_caller_runs_flush_keeps_everything(self):
+        db, worker = make_worker(BackpressurePolicy.BLOCK)
+        for s in samples(10):
+            assert worker.offer(s)
+        worker.flush()
+        assert worker.blocking_flushes >= 1
+        assert worker.dropped_oldest == 0 and worker.rejected == 0
+        assert list(db.get("s.gcpu").values) == [float(i + 1) for i in range(10)]
+
+
+class TestFlushing:
+    def test_flush_returns_written_count(self):
+        db, worker = make_worker(BackpressurePolicy.BLOCK, capacity=100)
+        for s in samples(7):
+            worker.offer(s)
+        assert worker.flush() == 7
+        assert worker.pending == 0
+        assert worker.flushed == 7
+
+    def test_flush_batches_by_batch_size(self):
+        db, worker = make_worker(BackpressurePolicy.BLOCK, capacity=100, batch_size=3)
+        for s in samples(7):
+            worker.offer(s)
+        worker.flush()
+        assert worker.flushes == 3  # 3 + 3 + 1
+
+    def test_batch_groups_multiple_series(self):
+        db, worker = make_worker(BackpressurePolicy.BLOCK, capacity=100, batch_size=100)
+        worker.offer(Sample("a.gcpu", 0.0, 1.0, {"metric": "gcpu"}))
+        worker.offer(Sample("b.gcpu", 0.0, 2.0, {"metric": "gcpu"}))
+        worker.offer(Sample("a.gcpu", 60.0, 3.0, {"metric": "gcpu"}))
+        worker.flush()
+        assert list(db.get("a.gcpu").values) == [1.0, 3.0]
+        assert list(db.get("b.gcpu").values) == [2.0]
+        assert db.get("a.gcpu").tags == {"metric": "gcpu"}
+
+    def test_out_of_order_sample_inserted_sorted(self):
+        db, worker = make_worker(BackpressurePolicy.BLOCK, capacity=100)
+        worker.offer(Sample("s", 120.0, 2.0))
+        worker.offer(Sample("s", 60.0, 1.0))  # straggler
+        worker.flush()
+        assert list(db.get("s").timestamps) == [60.0, 120.0]
+
+    def test_offer_many(self):
+        db, worker = make_worker(BackpressurePolicy.REJECT, capacity=3)
+        assert worker.offer_many(samples(5)) == 3
+
+
+class TestCountersAndMetrics:
+    def test_counters_dict(self):
+        db, worker = make_worker(BackpressurePolicy.DROP_OLDEST)
+        for s in samples(6):
+            worker.offer(s)
+        worker.flush()
+        counters = worker.counters()
+        assert counters["offered"] == 6
+        assert counters["accepted"] == 6
+        assert counters["dropped_oldest"] == 2
+        assert counters["flushed"] == 4
+        assert counters["pending"] == 0
+
+    def test_metrics_registry_wired(self):
+        metrics = MetricsRegistry()
+        db, worker = make_worker(BackpressurePolicy.DROP_OLDEST, metrics=metrics)
+        for s in samples(6):
+            worker.offer(s)
+        worker.flush()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["ingest.accepted"] == 6
+        assert snapshot["counters"]["ingest.dropped_oldest"] == 2
+        assert snapshot["counters"]["ingest.flushed"] == 4
+        assert snapshot["histograms"]["ingest.flush_seconds"]["count"] >= 1
+
+    def test_invalid_params(self):
+        db = TimeSeriesDatabase()
+        with pytest.raises(ValueError):
+            ShardIngestWorker(0, db, capacity=0)
+        with pytest.raises(ValueError):
+            ShardIngestWorker(0, db, batch_size=0)
