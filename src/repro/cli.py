@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--shards", type=int, default=4, help="service shard count")
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for shard advances (1 = in-thread)",
+    )
+    serve.add_argument(
         "--capacity", type=int, default=1024, help="per-shard ingest queue bound"
     )
     serve.add_argument(
@@ -209,6 +215,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
     if args.capacity < 1 or args.batch_size < 1:
         print("error: --capacity and --batch-size must be positive", file=sys.stderr)
         return 2
@@ -247,6 +256,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     sink = CollectingSink()
     service = StreamingDetectionService(
         n_shards=args.shards,
+        workers=args.workers,
         sinks=[sink],
         queue_capacity=args.capacity,
         backpressure=BackpressurePolicy(args.policy),
@@ -267,8 +277,10 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     service.flush()
 
     stats = service.stats()
+    snapshot = service.metrics.snapshot()
     print(f"streamed {stats.accepted} samples over {args.ticks} ticks "
-          f"({len(simulator.database)} series) through {args.shards} shard(s)")
+          f"({len(simulator.database)} series) through {args.shards} shard(s), "
+          f"{args.workers} worker(s)")
     if args.regress:
         print(f"injected x{args.regress} regression on {hottest} "
               f"at t={0.6 * span:.0f}")
@@ -277,6 +289,19 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     print()
     print(stats.render())
     print()
+    hits = snapshot["counters"].get("pipeline.incremental.hits", 0.0)
+    misses = snapshot["counters"].get("pipeline.incremental.misses", 0.0)
+    decisions = hits + misses
+    rate = hits / decisions if decisions else 0.0
+    print(f"incremental scan cache: {hits:.0f} hits / {misses:.0f} full scans "
+          f"({rate:.1%} hit rate)")
+    shard_hist = snapshot["histograms"].get("service.shard_advance_seconds")
+    if shard_hist and shard_hist["count"]:
+        histogram = service.metrics.histogram("service.shard_advance_seconds")
+        print(f"per-shard advance latency: mean {histogram.mean * 1e3:.2f} ms, "
+              f"p99 {histogram.quantile(0.99) * 1e3:.2f} ms "
+              f"over {shard_hist['count']} advances")
+    print()
     print(f"incident reports delivered: {len(sink.reports)}")
     for report in sink.reports:
         print(f"  - {report.metric_id} (+{report.relative_magnitude:.1%} "
@@ -284,6 +309,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.checkpoint_dir:
         path = service.checkpoint(args.checkpoint_dir)
         print(f"\ncheckpoint written to {path}")
+    service.close()
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.core.dedup_pairwise import MergeRule, PairwiseDedup
 from repro.core.dedup_som import SOMDedup
 from repro.core.detector import FBDetect
 from repro.core.importance import importance_score
+from repro.core.incremental import IncrementalScanCache
 from repro.core.long_term import LongTermDetector
 from repro.core.pipeline import DetectionPipeline, FunnelCounters, PipelineResult
 from repro.core.root_cause import RootCauseAnalyzer, RootCauseCandidate
@@ -49,6 +50,7 @@ __all__ = [
     "FBDetect",
     "FilterReason",
     "FunnelCounters",
+    "IncrementalScanCache",
     "LongTermDetector",
     "MergeRule",
     "MetricContext",

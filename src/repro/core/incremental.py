@@ -1,0 +1,170 @@
+"""Incremental detector state: the per-series scan cache.
+
+At production scale FBDetect re-scans ~800k subroutine series every
+cycle; most of them are quiet most of the time, yet the offline
+CUSUM+EM+LRT detector pays O(W) per series per scan regardless.  This
+module makes repeat scans cheap: a per-series
+:class:`~repro.stats.incremental.StreamingCusum` screen is anchored on
+the analysis window whenever a full scan runs, and subsequent scans fold
+in only the points that arrived since — O(n) for n new points.  The full
+detector re-runs only when something could plausibly have changed:
+
+- the screen fired (evidence of a mean shift in the new points),
+- the previous full scan produced a change-point candidate (its
+  lifecycle — merger suppression, went-away — needs the full pipeline),
+- the window drifted a full analysis span past the anchor (bounds the
+  approximation: a skip is only ever based on a window that still
+  overlaps the anchored one),
+- or the series stopped being append-only (backfill, retention, or a
+  restore rewrote history), which invalidates the anchor outright.
+
+The cache is deliberately conservative: the screen is tuned to fire on
+smaller shifts than the offline detector reports, so a skipped scan is
+one the full pipeline would almost surely have scored "no candidate".
+
+Checkpoint semantics: the cache pickles with its pipeline so the
+parallel executor can round-trip shard state without losing it, but a
+*restore* is a trust boundary — restored services must call
+:meth:`IncrementalScanCache.clear` (via
+``DetectionPipeline.invalidate_incremental``) so stale anchors can never
+suppress a re-scan over replayed or repaired history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.stats.incremental import StreamingCusum
+from repro.tsdb.series import TimeSeries
+
+__all__ = ["IncrementalScanCache"]
+
+
+@dataclass
+class _SeriesAnchor:
+    """Per-series incremental state between full scans."""
+
+    anchor_end: float  # timestamp of the newest point folded into the screen
+    anchor_len: int  # series length at that moment
+    full_scan_at: float  # reference time of the last full scan
+    had_candidate: bool  # whether that scan produced a change-point candidate
+    screen: StreamingCusum
+
+
+class IncrementalScanCache:
+    """Decides, per series, whether a full windowed scan is needed.
+
+    Args:
+        max_staleness: Seconds of reference-time drift after which a
+            full scan is forced even with a quiet screen.  Callers pass
+            the analysis-window duration so a skip is always based on a
+            window overlapping the anchored one.
+        drift: Screen allowance (see :class:`StreamingCusum`).
+        threshold: Screen decision interval (see :class:`StreamingCusum`).
+
+    Plain-attribute state only: pickles inside shard checkpoints and
+    across process-pool boundaries.
+    """
+
+    def __init__(
+        self,
+        max_staleness: float,
+        drift: float = 0.75,
+        threshold: float = 6.0,
+    ) -> None:
+        if max_staleness <= 0:
+            raise ValueError("max_staleness must be positive")
+        self.max_staleness = float(max_staleness)
+        self.drift = float(drift)
+        self.threshold = float(threshold)
+        self._anchors: Dict[str, _SeriesAnchor] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._anchors)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of scan decisions answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def should_scan(self, series: TimeSeries, now: float) -> bool:
+        """Whether the full windowed detector must run for ``series``.
+
+        Folds any newly appended points into the series' screen (O(n))
+        either way; a ``False`` return is a cache hit — the previous
+        "no candidate" outcome still stands.
+        """
+        anchor = self._anchors.get(series.name)
+        if anchor is None:
+            self.misses += 1
+            return True
+        n = len(series)
+        if (
+            n < anchor.anchor_len
+            or anchor.anchor_len == 0
+            or series.timestamp_at(anchor.anchor_len - 1) != anchor.anchor_end
+        ):
+            # History was rewritten under the anchor (retention, backfill,
+            # or a restore): the screen's reference is no longer valid.
+            self.invalidations += 1
+            del self._anchors[series.name]
+            self.misses += 1
+            return True
+        new_values = series.tail_values(anchor.anchor_len)
+        if new_values.size:
+            anchor.screen.update_many(new_values)
+            anchor.anchor_len = n
+            anchor.anchor_end = series.timestamp_at(n - 1)
+        if (
+            anchor.had_candidate
+            or anchor.screen.fired
+            or (now - anchor.full_scan_at) >= self.max_staleness
+        ):
+            self.misses += 1
+            return True
+        self.hits += 1
+        return False
+
+    def record_full_scan(
+        self,
+        series: TimeSeries,
+        now: float,
+        analysis_values: Sequence[float],
+        had_candidate: bool,
+    ) -> None:
+        """Re-anchor ``series`` after a full scan at reference ``now``."""
+        if len(series) == 0:
+            return
+        self._anchors[series.name] = _SeriesAnchor(
+            anchor_end=series.timestamp_at(-1),
+            anchor_len=len(series),
+            full_scan_at=now,
+            had_candidate=had_candidate,
+            screen=StreamingCusum.from_reference(
+                analysis_values, drift=self.drift, threshold=self.threshold
+            ),
+        )
+
+    def forget(self, name: str) -> None:
+        """Drop one series' anchor (e.g. the series was deleted)."""
+        self._anchors.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every anchor (restore path: derived state is rebuilt)."""
+        if self._anchors:
+            self.invalidations += len(self._anchors)
+        self._anchors.clear()
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "anchors": len(self._anchors),
+        }

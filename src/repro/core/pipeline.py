@@ -25,6 +25,7 @@ from repro.core.change_point import ChangePointDetector
 from repro.core.cost_shift import CostShiftDetector
 from repro.core.dedup_pairwise import PairwiseDedup
 from repro.core.dedup_som import SOMDedup
+from repro.core.incremental import IncrementalScanCache
 from repro.core.long_term import LongTermDetector
 from repro.core.planned_changes import PlannedChangeCorrelator
 from repro.core.root_cause import RootCauseAnalyzer
@@ -139,6 +140,13 @@ class DetectionPipeline:
             (AdServing runs without it, per Table 3).
         enable_som_dedup: Ablation switch for SOMDedup.
         enable_pairwise_dedup: Ablation switch for PairwiseDedup.
+        incremental: Enable the per-series incremental scan cache: a
+            streaming CUSUM screen anchored at each full scan lets
+            repeat scans over quiet series cost O(n) in *new* points
+            instead of O(W) in window size (see
+            :mod:`repro.core.incremental`).  Off by default so offline
+            single-scan analyses (benchmarks, funnel reproduction) stay
+            byte-identical; the streaming service turns it on.
         metrics: Optional metrics-registry-like object (must expose
             ``inc(name, n)`` and ``observe(name, value)``, e.g.
             :class:`repro.service.metrics.MetricsRegistry`); receives
@@ -161,6 +169,7 @@ class DetectionPipeline:
         enable_cost_shift: bool = True,
         enable_som_dedup: bool = True,
         enable_pairwise_dedup: bool = True,
+        incremental: bool = False,
         metrics: Optional[object] = None,
     ) -> None:
         self.config = config
@@ -175,6 +184,11 @@ class DetectionPipeline:
         self.enable_cost_shift = enable_cost_shift
         self.enable_som_dedup = enable_som_dedup
         self.enable_pairwise_dedup = enable_pairwise_dedup
+        self.incremental_cache: Optional[IncrementalScanCache] = (
+            IncrementalScanCache(max_staleness=config.windows.analysis)
+            if incremental
+            else None
+        )
         self.metrics = metrics
 
         self.change_point_detector = ChangePointDetector()
@@ -291,6 +305,16 @@ class DetectionPipeline:
                 f"pipeline.stage.{stage}_seconds", time.perf_counter() - started
             )
 
+    def invalidate_incremental(self) -> None:
+        """Drop all derived incremental-scan state (restore boundary).
+
+        Called when shard state is restored from a checkpoint: anchors
+        computed in a previous life must never suppress a re-scan over
+        replayed or repaired history.  No-op when the cache is disabled.
+        """
+        if self.incremental_cache is not None:
+            self.incremental_cache.clear()
+
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
@@ -307,6 +331,14 @@ class DetectionPipeline:
     def _short_term(
         self, series: TimeSeries, now: float, funnel: FunnelCounters
     ) -> Optional[Regression]:
+        cache = self.incremental_cache
+        if cache is not None and not cache.should_scan(series, now):
+            # Cache hit: the screen saw no shift in the new points and
+            # the previous full scan found nothing — skip the O(W) path.
+            if self.metrics is not None:
+                self.metrics.inc("pipeline.incremental.hits")
+            return None
+
         windowed = self.config.windows.view(series, now)
         if not windowed.has_minimum_data(
             self.min_historic_points, self.min_analysis_points
@@ -315,6 +347,10 @@ class DetectionPipeline:
 
         oriented_analysis = self._oriented(windowed.analysis)
         candidate = self.change_point_detector.detect_increase(oriented_analysis)
+        if cache is not None:
+            cache.record_full_scan(series, now, oriented_analysis, candidate is not None)
+            if self.metrics is not None:
+                self.metrics.inc("pipeline.incremental.misses")
         if candidate is None:
             return None
         funnel.survived("change_points")

@@ -160,6 +160,22 @@ class DetectionScheduler:
         """Registered monitor names, sorted."""
         return sorted(self._monitors)
 
+    def wire_metrics(self, metrics: Optional[object]) -> None:
+        """Point this scheduler and every monitor pipeline at ``metrics``.
+
+        Used after unpickling (checkpoint restore, process-pool
+        round-trips), where the process-local registry is deliberately
+        not part of the serialized state.
+        """
+        self.metrics = metrics
+        for registration in self._monitors.values():
+            registration.detector.pipeline.metrics = metrics
+
+    def invalidate_incremental(self) -> None:
+        """Drop every monitor's derived incremental-scan cache."""
+        for registration in self._monitors.values():
+            registration.detector.invalidate_incremental()
+
     # ------------------------------------------------------------------
     # Time advancement
     # ------------------------------------------------------------------

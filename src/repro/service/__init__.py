@@ -15,12 +15,14 @@ Modules:
 - :mod:`repro.service.ingest` — bounded ingest queues + backpressure.
 - :mod:`repro.service.checkpoint` — durable checkpoint/restore.
 - :mod:`repro.service.metrics` — counters, gauges, latency histograms.
+- :mod:`repro.service.parallel` — multi-process shard execution.
 - :mod:`repro.service.service` — the composed streaming service.
 """
 
 from repro.service.checkpoint import CheckpointError, CheckpointManager
 from repro.service.ingest import BackpressurePolicy, Sample, ShardIngestWorker
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.parallel import ParallelShardExecutor, ShardAdvanceResult
 from repro.service.router import ConsistentHashRouter
 from repro.service.service import ServiceStats, ShardStats, StreamingDetectionService
 
@@ -33,8 +35,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ParallelShardExecutor",
     "Sample",
     "ServiceStats",
+    "ShardAdvanceResult",
     "ShardIngestWorker",
     "ShardStats",
     "StreamingDetectionService",

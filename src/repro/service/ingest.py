@@ -26,8 +26,9 @@ import enum
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Mapping, Optional
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Mapping, Optional
 
 from repro.tsdb.database import TimeSeriesDatabase
 
@@ -80,7 +81,7 @@ class ShardIngestWorker:
         capacity: int = 1024,
         policy: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST,
         batch_size: int = 256,
-        metrics: Optional[object] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -173,6 +174,46 @@ class ShardIngestWorker:
             self.metrics.inc("ingest.flushed", written)
             self.metrics.observe("ingest.flush_seconds", time.perf_counter() - started)
         return written
+
+    # -- state-swap support (parallel executor) --------------------------
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Hold the queue lock for the duration of the block.
+
+        The parallel executor serializes shard state from the service
+        thread while producers may still be offering; pausing makes the
+        pickled snapshot internally consistent (offers block briefly,
+        then land in the live queue and are carried over via
+        :meth:`drain_pending` / :meth:`requeue` when the advanced state
+        is installed).
+        """
+        with self._lock:
+            yield
+
+    def drain_pending(self) -> List[Sample]:
+        """Remove and return everything buffered, without flushing it.
+
+        Used when swapping in a worker's advanced state: samples offered
+        to the *old* queue after the snapshot was taken are drained here
+        and re-queued on the new state, so nothing is lost or counted
+        twice.
+        """
+        with self._lock:
+            pending = list(self._queue)
+            self._queue.clear()
+            return pending
+
+    def requeue(self, samples: Iterable[Sample]) -> None:
+        """Re-buffer samples that were already counted as accepted.
+
+        Unlike :meth:`offer`, this does not touch the offered/accepted
+        counters (the samples were counted on first offer) and does not
+        apply backpressure: the carried-over burst is bounded by what
+        producers managed to offer during one advance cycle.
+        """
+        with self._lock:
+            self._queue.extend(samples)
 
     # -- introspection / pickling ----------------------------------------
 

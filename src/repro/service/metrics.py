@@ -176,6 +176,26 @@ class Histogram(_Lockable):
                 "max": self._max if self._count else None,
             }
 
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Raises:
+            ValueError: When the bucket bounds differ (merging would
+                misattribute observations).
+        """
+        if [float(b) for b in state["bounds"]] != list(self.bounds):
+            raise ValueError("cannot merge histograms with different buckets")
+        with self._lock:
+            self._counts = [
+                mine + theirs for mine, theirs in zip(self._counts, state["counts"])
+            ]
+            self._count += state["count"]
+            self._sum += state["sum"]
+            if state["min"] is not None:
+                self._min = min(self._min, state["min"])
+            if state["max"] is not None:
+                self._max = max(self._max, state["max"])
+
 
 class MetricsRegistry(_Lockable):
     """Named instruments plus convenience record/snapshot/render APIs.
@@ -250,6 +270,22 @@ class MetricsRegistry(_Lockable):
             "gauges": {name: g.value for name, g in sorted(gauges.items())},
             "histograms": {name: h.state() for name, h in sorted(histograms.items())},
         }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The parallel-executor merge path: worker processes record scan
+        latencies and pipeline counters into their own fresh registries,
+        then the parent folds the returned snapshots in.  Counters and
+        histogram buckets add; gauges take the incoming value (last
+        writer wins, matching single-process semantics).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name, state["bounds"]).merge_state(state)
 
     def restore(self, snapshot: dict) -> None:
         """Reset this registry to a :meth:`snapshot`'s state."""

@@ -1,0 +1,162 @@
+"""Multi-process shard execution.
+
+The paper's deployment scans different slices of the series space on a
+serverless fleet (§5.1); one Python process with thread-level scan
+parallelism hits the GIL long before it hits the hardware.  This module
+fans per-shard ``DetectionScheduler.advance_to`` slices out to worker
+*processes*:
+
+1. the service serializes each shard's state (TSDB + ingest queue +
+   scheduler with its detector/dedup/incremental state) under the
+   shard's queue lock — shard state is already picklable because it is
+   exactly what checkpoints persist;
+2. each worker process deserializes one shard, wires a fresh process-
+   local metrics registry, flushes the queued samples, advances the
+   scheduler to the target time, and ships the advanced state, the scan
+   outcomes, and a metrics snapshot back;
+3. the parent installs the advanced states and merges outcomes **in
+   ascending shard-id order** — the same order the serial path iterates
+   shards — so ledger admission, funnel accumulation, and sink delivery
+   are byte-identical to single-process execution.
+
+The merge barrier is the loop over :meth:`ParallelShardExecutor.map_shards`
+results: report-level side effects happen only in the parent, after all
+futures resolve, which is what makes parallel and serial runs produce
+identical report sets for identical inputs.
+
+Shards never share mutable state (each owns its TSDB and detectors), so
+the only cross-shard coupling is that deterministic merge in the parent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.scheduler import ScanOutcome
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["ShardAdvanceResult", "ParallelShardExecutor"]
+
+
+@dataclass
+class ShardAdvanceResult:
+    """What one worker process ships back for one shard.
+
+    Attributes:
+        shard_id: The shard that was advanced.
+        state: The advanced shard-state dict (same shape as
+            ``_Shard.state()`` / the checkpoint blob).
+        outcomes: Scan outcomes, in the scheduler's deterministic order.
+        metrics: Snapshot of the worker-local metrics registry (scan
+            latencies, pipeline counters, cache hits) for the parent to
+            merge.
+        elapsed: Wall-clock seconds the worker spent on this shard.
+    """
+
+    shard_id: int
+    state: dict
+    outcomes: List[ScanOutcome]
+    metrics: dict
+    elapsed: float
+
+
+def _advance_shard(shard_id: int, blob: bytes, target: float) -> ShardAdvanceResult:
+    """Worker entry point: advance one pickled shard to ``target``.
+
+    Module-level so every multiprocessing start method can import it.
+    """
+    state = pickle.loads(blob)
+    registry = MetricsRegistry()
+    worker = state["worker"]
+    scheduler = state["scheduler"]
+    worker.metrics = registry
+    scheduler.wire_metrics(registry)
+    started = time.perf_counter()
+    worker.flush()
+    outcomes = scheduler.advance_to(target)
+    elapsed = time.perf_counter() - started
+    state["scans"] = state.get("scans", 0) + len(outcomes)
+    # Detach the worker-local registry before the result pickles back:
+    # the parent owns the authoritative registry and merges the snapshot.
+    worker.metrics = None
+    scheduler.wire_metrics(None)
+    return ShardAdvanceResult(
+        shard_id=shard_id,
+        state=state,
+        outcomes=outcomes,
+        metrics=registry.snapshot(),
+        elapsed=elapsed,
+    )
+
+
+class ParallelShardExecutor:
+    """Fans shard advances out to a lazily created process pool.
+
+    Args:
+        workers: Worker process count (must be >= 1).  With one worker
+            the service skips this executor entirely and runs the
+            in-thread path; the executor still handles ``workers=1``
+            correctly for direct use.
+        mp_context: Optional :mod:`multiprocessing` context (or start
+            method name) — defaults to the platform default, which keeps
+            the executor working under both fork and spawn.
+
+    Example::
+
+        executor = ParallelShardExecutor(workers=4)
+        results = executor.map_shards({0: blob0, 1: blob1}, target=3600.0)
+        executor.close()
+    """
+
+    def __init__(self, workers: int, mp_context: Optional[Any] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            kwargs: Dict[str, Any] = {}
+            if self._mp_context is not None:
+                import multiprocessing
+
+                context = self._mp_context
+                if isinstance(context, str):
+                    context = multiprocessing.get_context(context)
+                kwargs["mp_context"] = context
+            self._pool = ProcessPoolExecutor(max_workers=self.workers, **kwargs)
+        return self._pool
+
+    def map_shards(
+        self, blobs: Dict[int, bytes], target: float
+    ) -> List[ShardAdvanceResult]:
+        """Advance every shard blob to ``target``; results sorted by id.
+
+        The sort is the determinism contract: callers fold results in
+        ascending shard-id order, matching the serial path's iteration
+        order exactly.
+        """
+        pool = self._ensure_pool()
+        futures: Sequence[Future] = [
+            pool.submit(_advance_shard, shard_id, blob, target)
+            for shard_id, blob in sorted(blobs.items())
+        ]
+        results = [future.result() for future in futures]
+        return sorted(results, key=lambda result: result.shard_id)
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -29,7 +29,9 @@ when cross-series dedup matters.
 
 from __future__ import annotations
 
+import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,11 +39,12 @@ from repro.config import DetectionConfig
 from repro.core.pipeline import FunnelCounters
 from repro.core.types import Regression
 from repro.reporting.report import IncidentReport, build_report
-from repro.runtime.scheduler import DetectionScheduler
+from repro.runtime.scheduler import DetectionScheduler, ScanOutcome
 from repro.runtime.sinks import IncidentSink
 from repro.service.checkpoint import CheckpointManager
 from repro.service.ingest import BackpressurePolicy, Sample, ShardIngestWorker
 from repro.service.metrics import MetricsRegistry
+from repro.service.parallel import ParallelShardExecutor
 from repro.service.router import ConsistentHashRouter
 from repro.tsdb.database import TimeSeriesDatabase
 
@@ -159,17 +162,50 @@ class _Shard:
             "scans": self.scans,
         }
 
-    def load_state(self, state: dict, metrics: MetricsRegistry) -> None:
+    def load_state(
+        self,
+        state: dict,
+        metrics: MetricsRegistry,
+        drop_derived: bool = False,
+    ) -> None:
+        """Install (un)pickled shard state.
+
+        Args:
+            state: A :meth:`state`-shaped dict.
+            metrics: The process-local registry to rewire (dropped on
+                pickle).
+            drop_derived: Invalidate derived caches (incremental-scan
+                anchors).  True on checkpoint *restore* — a trust
+                boundary where stale anchors must never suppress a
+                re-scan; False when installing a parallel worker's
+                advanced state, which is a continuation of this very
+                process's timeline.
+        """
         self.database = state["database"]
         self.worker = state["worker"]
         self.scheduler = state["scheduler"]
         self.scans = state.get("scans", 0)
         # Rewire the process-local metrics registry (dropped on pickle).
         self.worker.metrics = metrics
-        self.scheduler.metrics = metrics
-        for name in self.scheduler.monitors():
-            registration = self.scheduler._monitors[name]
-            registration.detector.pipeline.metrics = metrics
+        self.scheduler.wire_metrics(metrics)
+        if drop_derived:
+            self.scheduler.invalidate_incremental()
+
+    def snapshot_blob(self) -> bytes:
+        """Serialize this shard's state under its queue lock.
+
+        Ownership of queued samples transfers to the blob: the live
+        queue is cleared after the dump so the worker process (which
+        flushes the blob's copy) is the only one that ingests them.
+        Producers offering concurrently block for the duration of the
+        dump; anything offered afterwards lands in the now-empty live
+        queue and is carried over when the advanced state is installed
+        (see :meth:`StreamingDetectionService.advance_to`).
+        """
+        with self.worker.paused():
+            blob = pickle.dumps(self.state(), protocol=pickle.HIGHEST_PROTOCOL)
+            self.worker.drain_pending()  # contents now owned by the blob
+            return blob
 
 
 class StreamingDetectionService:
@@ -183,6 +219,13 @@ class StreamingDetectionService:
         backpressure: Policy when a shard queue is full.
         batch_size: Samples per TSDB flush batch.
         max_workers_per_shard: Parallel scan threads per shard.
+        workers: Worker *processes* for shard advances.  With ``workers
+            <= 1`` detection runs in-thread (the historical path); with
+            more, :meth:`advance_to` pickles each shard out to a
+            :class:`~repro.service.parallel.ParallelShardExecutor`,
+            advances shards truly in parallel, and merges the results
+            deterministically (ascending shard id — identical report
+            order to the serial path).
         retention: Per-shard TSDB retention (seconds; 0 disables).
         replicas: Virtual nodes per shard on the hash ring.
         routing_key: Maps a sample to its routing key (default: the
@@ -209,6 +252,7 @@ class StreamingDetectionService:
         backpressure: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST,
         batch_size: int = 256,
         max_workers_per_shard: int = 2,
+        workers: int = 1,
         retention: float = 0.0,
         replicas: int = 64,
         routing_key: Optional[Callable[[Sample], str]] = None,
@@ -217,7 +261,13 @@ class StreamingDetectionService:
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
         self.n_shards = n_shards
+        self.workers = workers
+        self._executor: Optional[ParallelShardExecutor] = (
+            ParallelShardExecutor(workers) if workers > 1 else None
+        )
         self.sinks = list(sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.router = ConsistentHashRouter(range(n_shards), replicas=replicas)
@@ -244,6 +294,7 @@ class StreamingDetectionService:
         self._flushers: List[threading.Thread] = []
         self._stop_flushers = threading.Event()
         self.metrics.set_gauge("service.shards", n_shards)
+        self.metrics.set_gauge("service.workers", workers)
 
     # ------------------------------------------------------------------
     # Monitors
@@ -264,8 +315,12 @@ class StreamingDetectionService:
         """Register a monitor on *every* shard.
 
         Each shard gets its own detector (and dedup state) scanning the
-        shard-local slice of the series space.
+        shard-local slice of the series space.  The service defaults the
+        pipeline's incremental scan cache on (pass ``incremental=False``
+        to opt a monitor out): re-scans over quiet series then cost O(n)
+        in new points instead of O(window).
         """
+        detector_kwargs.setdefault("incremental", True)
         for shard in self._shards.values():
             shard.scheduler.register(
                 name,
@@ -318,6 +373,12 @@ class StreamingDetectionService:
     def advance_to(self, target: float) -> List[IncidentReport]:
         """Flush queues, run every due scan, and deliver new reports.
 
+        With ``workers > 1``, shard advances run in parallel worker
+        processes; the merge below happens strictly in ascending shard
+        id — the same order the serial loop visits shards — so the two
+        modes deliver identical report sequences for identical inputs
+        (the merge barrier; see :mod:`repro.service.parallel`).
+
         Regressions whose (metric, change time) the service has already
         alerted on — in this life or a checkpointed previous one — are
         suppressed instead of re-delivered.
@@ -327,28 +388,78 @@ class StreamingDetectionService:
         """
         delivered: List[IncidentReport] = []
         with self.metrics.timer("service.advance_seconds"):
-            for shard in self._shards.values():
-                shard.worker.flush()
-                outcomes = shard.scheduler.advance_to(target)
-                shard.scans += len(outcomes)
-                for outcome in outcomes:
-                    self.funnel.merge(outcome.result.funnel)
-                    for regression in outcome.result.reported:
-                        if not self._ledger_admit(regression):
-                            self._suppressed_realerts += 1
-                            self.metrics.inc("service.reports.suppressed")
-                            continue
-                        report = build_report(regression)
-                        for sink in self.sinks:
-                            sink.deliver(report)
-                        delivered.append(report)
-                        self._reported += 1
-                        self.metrics.inc("service.reports.delivered")
-                self.metrics.set_gauge(
-                    f"service.shard{shard.shard_id}.series", len(shard.database)
-                )
+            if self._executor is not None and self.n_shards > 1:
+                self._advance_parallel(target, delivered)
+            else:
+                for shard in self._shards.values():
+                    started = time.perf_counter()
+                    shard.worker.flush()
+                    outcomes = shard.scheduler.advance_to(target)
+                    shard.scans += len(outcomes)
+                    self.metrics.observe(
+                        "service.shard_advance_seconds",
+                        time.perf_counter() - started,
+                    )
+                    self._deliver(shard, outcomes, delivered)
         self._clock = max(self._clock, target)
         return delivered
+
+    def _advance_parallel(
+        self, target: float, delivered: List[IncidentReport]
+    ) -> None:
+        """Fan shard advances out to worker processes and merge back."""
+        blobs = {
+            shard_id: shard.snapshot_blob()
+            for shard_id, shard in self._shards.items()
+        }
+        results = self._executor.map_shards(blobs, target)  # sorted by id
+        self.metrics.inc("service.parallel_advances")
+        for result in results:
+            shard = self._shards[result.shard_id]
+            # Samples offered after the snapshot live in the old queue
+            # (the snapshot emptied it); carry them — and the offer-side
+            # counters, which the old worker kept authoritative while
+            # the advance ran — into the advanced state.
+            old_worker = shard.worker
+            carried = old_worker.drain_pending()
+            shard.load_state(result.state, self.metrics)
+            if carried:
+                shard.worker.requeue(carried)
+            shard.worker.offered = old_worker.offered
+            shard.worker.accepted = old_worker.accepted
+            shard.worker.dropped_oldest = old_worker.dropped_oldest
+            shard.worker.rejected = old_worker.rejected
+            self.metrics.observe("service.shard_advance_seconds", result.elapsed)
+            self.metrics.merge(result.metrics)
+            self._deliver(shard, result.outcomes, delivered)
+
+    def _deliver(
+        self,
+        shard: _Shard,
+        outcomes: Sequence[ScanOutcome],
+        delivered: List[IncidentReport],
+    ) -> None:
+        """Fold one shard's scan outcomes into service-level state.
+
+        Shared by the serial and parallel paths so ledger admission,
+        funnel accumulation, and sink delivery are identical in both.
+        """
+        for outcome in outcomes:
+            self.funnel.merge(outcome.result.funnel)
+            for regression in outcome.result.reported:
+                if not self._ledger_admit(regression):
+                    self._suppressed_realerts += 1
+                    self.metrics.inc("service.reports.suppressed")
+                    continue
+                report = build_report(regression)
+                for sink in self.sinks:
+                    sink.deliver(report)
+                delivered.append(report)
+                self._reported += 1
+                self.metrics.inc("service.reports.delivered")
+        self.metrics.set_gauge(
+            f"service.shard{shard.shard_id}.series", len(shard.database)
+        )
 
     def _ledger_admit(self, regression: Regression) -> bool:
         """Record-and-admit unless already reported within tolerance."""
@@ -394,6 +505,19 @@ class StreamingDetectionService:
             thread.join(timeout=5.0)
         self._flushers.clear()
         self.flush()
+
+    def close(self) -> None:
+        """Release resources: flusher threads and the worker pool."""
+        if self._flushers:
+            self.stop()
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "StreamingDetectionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -481,7 +605,11 @@ class StreamingDetectionService:
 
         The restored service resumes exactly where the checkpointed one
         stopped: queued-but-unflushed samples are still queued, and
-        regressions already reported are not re-alerted.
+        regressions already reported are not re-alerted.  Derived
+        incremental-scan caches are dropped — a stale anchor from the
+        previous life must never suppress a re-scan over replayed
+        history — so the first scan after a restore pays full price and
+        re-anchors from the restored data.
 
         Raises:
             CheckpointError: When the checkpoint is missing or corrupt.
@@ -495,7 +623,9 @@ class StreamingDetectionService:
             **service_kwargs,
         )
         for shard_key, state in shard_states.items():
-            service._shards[int(shard_key)].load_state(state, service.metrics)
+            service._shards[int(shard_key)].load_state(
+                state, service.metrics, drop_derived=True
+            )
         service._clock = meta.get("clock", 0.0)
         service._reported = meta.get("reported", 0)
         service._suppressed_realerts = meta.get("suppressed_realerts", 0)

@@ -25,6 +25,9 @@ paper's pipeline relies on:
 - :mod:`repro.stats.correlation` — Pearson correlation with alignment
   helpers (§5.5.2, §5.6).
 - :mod:`repro.stats.descriptive` — percentiles and summary statistics.
+- :mod:`repro.stats.incremental` — O(1)-per-point streaming primitives
+  (Welford moments, Page's CUSUM) backing the pipeline's incremental
+  scan cache.
 """
 
 from repro.stats.autocorrelation import acf, detect_season_length, has_significant_seasonality
@@ -34,6 +37,7 @@ from repro.stats.cusum import CusumResult, cusum_changepoint, cusum_statistic
 from repro.stats.descriptive import percentile, summarize
 from repro.stats.em import em_mean_split
 from repro.stats.hypothesis import LikelihoodRatioResult, likelihood_ratio_test
+from repro.stats.incremental import RunningMoments, StreamingCusum
 from repro.stats.mann_kendall import MannKendallResult, mann_kendall_test
 from repro.stats.robust import mad, mad_threshold
 from repro.stats.sax import SaxEncoding, sax_encode
@@ -44,7 +48,9 @@ __all__ = [
     "CusumResult",
     "LikelihoodRatioResult",
     "MannKendallResult",
+    "RunningMoments",
     "STLResult",
+    "StreamingCusum",
     "SaxEncoding",
     "TheilSenFit",
     "acf",

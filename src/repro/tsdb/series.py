@@ -93,6 +93,23 @@ class TimeSeries:
             return None
         return self._timestamps[-1], self._values[-1]
 
+    def timestamp_at(self, index: int) -> float:
+        """The timestamp at position ``index`` (supports negatives).
+
+        Raises:
+            IndexError: When the position does not exist.
+        """
+        return self._timestamps[index]
+
+    def tail_values(self, start: int) -> np.ndarray:
+        """Values from position ``start`` to the end, as a numpy array.
+
+        The incremental-scan fast path: with ``start`` set to the length
+        at the previous scan, this returns exactly the points appended
+        since — O(n) in the number of *new* points, not series length.
+        """
+        return np.asarray(self._values[start:], dtype=float)
+
     @property
     def timestamps(self) -> np.ndarray:
         """Timestamps as a numpy array (copy)."""

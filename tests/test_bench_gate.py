@@ -1,0 +1,96 @@
+"""Tests for the CI benchmark-regression gate logic (no measurements).
+
+Exercises :mod:`benchmarks.check_bench_regression`'s two gates against
+synthetic payloads: the hard ratio floor and the dogfooded CUSUM+LRT
+change-point gate over absolute-throughput history.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+)
+
+from check_bench_regression import (  # noqa: E402
+    MIN_HISTORY,
+    gate_history,
+    gate_ratios,
+)
+
+BASELINE = {
+    "ratios": {"ingest_goodput_scaling_4v1": 2.5, "incremental_speedup": 2.0},
+    "counts": {"reports_delivered": 1},
+}
+
+
+def payload(scaling=2.6, speedup=2.1, reports=1, goodput=100.0):
+    return {
+        "ratios": {
+            "ingest_goodput_scaling_4v1": scaling,
+            "incremental_speedup": speedup,
+        },
+        "counts": {"reports_delivered": reports},
+        "absolutes": {"scan_goodput_serial": goodput},
+    }
+
+
+class TestRatioGate:
+    def test_passes_at_baseline(self):
+        assert gate_ratios(payload(), BASELINE) == []
+
+    def test_tolerates_small_drop(self):
+        # 2.1 is a 16% drop from 2.5 — inside the 20% floor.
+        assert gate_ratios(payload(scaling=2.1), BASELINE) == []
+
+    def test_fails_on_big_drop(self):
+        failures = gate_ratios(payload(scaling=1.5), BASELINE)
+        assert len(failures) == 1
+        assert "ingest_goodput_scaling_4v1" in failures[0]
+
+    def test_fails_on_missing_ratio(self):
+        current = payload()
+        del current["ratios"]["incremental_speedup"]
+        failures = gate_ratios(current, BASELINE)
+        assert any("missing" in failure for failure in failures)
+
+    def test_fails_on_count_mismatch(self):
+        failures = gate_ratios(payload(reports=0), BASELINE)
+        assert any("reports_delivered" in failure for failure in failures)
+
+
+class TestHistoryGate:
+    def test_short_history_only_records(self):
+        history = {}
+        for _ in range(MIN_HISTORY - 1):
+            assert gate_history(history, payload()) == []
+        assert len(history["scan_goodput_serial"]) == MIN_HISTORY - 1
+
+    def test_stable_history_passes(self):
+        history = {"scan_goodput_serial": [100.0, 101.0, 99.0, 100.5,
+                                           99.5, 100.2, 99.8, 100.1]}
+        assert gate_history(history, payload(goodput=100.0)) == []
+
+    def test_detects_sustained_drop(self):
+        # Ten good runs, then a sustained 30% regression: the dogfooded
+        # CUSUM+LRT pair must flag it once the drop reaches the present.
+        history = {
+            "scan_goodput_serial": [100.0, 101.0, 99.0, 100.5, 99.5,
+                                    100.2, 99.8, 100.1, 70.0, 70.5, 69.5]
+        }
+        failures = gate_history(history, payload(goodput=70.2))
+        assert len(failures) == 1
+        assert "scan_goodput_serial" in failures[0]
+        assert "drop" in failures[0]
+
+    def test_improvement_is_not_flagged(self):
+        history = {
+            "scan_goodput_serial": [100.0, 99.0, 101.0, 100.0,
+                                    130.0, 131.0, 129.0, 130.5]
+        }
+        assert gate_history(history, payload(goodput=130.2)) == []
+
+    def test_history_is_bounded(self):
+        history = {"scan_goodput_serial": [100.0] * 60}
+        gate_history(history, payload(goodput=100.0))
+        assert len(history["scan_goodput_serial"]) <= 50

@@ -150,3 +150,32 @@ class TestServeDemoCommand:
     def test_policy_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-demo", "--policy", "explode"])
+
+    def test_parallel_workers(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--preset", "invoicer_short",
+                "--ticks", "120",
+                "--shards", "2",
+                "--workers", "2",
+                "--regress", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "through 2 shard(s), 2 worker(s)" in out
+        assert "incremental scan cache:" in out
+        assert "per-shard advance latency:" in out
+
+    def test_workers_must_be_positive(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--preset", "invoicer_short",
+                "--ticks", "10",
+                "--workers", "0",
+            ]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

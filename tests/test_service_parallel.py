@@ -1,0 +1,227 @@
+"""Tests for repro.service.parallel and the service's workers>1 path.
+
+The contract under test: for the same fleet input, parallel
+multi-process execution produces *byte-identical* report sets to serial
+in-thread execution (the merge barrier runs in ascending shard-id order,
+matching the serial iteration), and checkpoints taken mid-stream restore
+correctly under ``workers=4`` — with every derived incremental-scan
+cache dropped at the trust boundary.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import DetectionConfig
+from repro.runtime import CollectingSink
+from repro.service import (
+    BackpressurePolicy,
+    ParallelShardExecutor,
+    Sample,
+    StreamingDetectionService,
+)
+from repro.tsdb import WindowSpec
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+CHANGE_TICK = 700
+SERIES = [f"svc.sub{i}.gcpu" for i in range(8)]
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="test",
+        threshold=0.00005,
+        rerun_interval=6_000.0,
+        windows=WindowSpec(historic=36_000.0, analysis=12_000.0, extended=6_000.0),
+        long_term=False,
+    )
+    defaults.update(overrides)
+    return DetectionConfig(**defaults)
+
+
+def make_stream(seed, regress_index):
+    rng = np.random.default_rng(seed)
+    table = {}
+    for index, name in enumerate(SERIES):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == regress_index:
+            values[CHANGE_TICK:] += 0.0003
+        table[name] = values
+    samples = []
+    for name in SERIES:
+        samples.extend(
+            Sample(name, tick * INTERVAL, float(table[name][tick]),
+                   {"metric": "gcpu"})
+            for tick in range(N_TICKS)
+        )
+    samples.sort(key=lambda s: s.timestamp)
+    return samples
+
+
+def make_service(sink, workers, n_shards=4):
+    service = StreamingDetectionService(
+        n_shards=n_shards,
+        workers=workers,
+        sinks=[sink],
+        queue_capacity=512,
+        backpressure=BackpressurePolicy.BLOCK,
+        batch_size=128,
+    )
+    service.register_monitor("gcpu", small_config(), series_filter={"metric": "gcpu"})
+    return service
+
+
+def run_stream(samples, workers, n_shards=4, advance_every=200):
+    sink = CollectingSink()
+    service = make_service(sink, workers, n_shards)
+    chunk = advance_every * len(SERIES)
+    for begin in range(0, len(samples), chunk):
+        batch = samples[begin : begin + chunk]
+        service.ingest_many(batch)
+        service.advance_to(batch[-1].timestamp + INTERVAL)
+    snapshot = service.metrics.snapshot()
+    service.close()
+    return sink.reports, snapshot
+
+
+def report_bytes(reports):
+    return json.dumps([r.to_dict() for r in reports], sort_keys=True)
+
+
+class TestParallelShardExecutor:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelShardExecutor(workers=0)
+
+    def test_close_is_idempotent(self):
+        executor = ParallelShardExecutor(workers=2)
+        executor.close()
+        executor.close()
+
+    def test_context_manager(self):
+        with ParallelShardExecutor(workers=2) as executor:
+            assert executor.workers == 2
+
+    def test_service_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            StreamingDetectionService(n_shards=2, workers=0)
+
+
+class TestSerialParallelEquivalence:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        regress_index=st.integers(min_value=0, max_value=len(SERIES) - 1),
+    )
+    def test_reports_byte_identical(self, seed, regress_index):
+        """Property: same fleet seed -> byte-identical report sets."""
+        samples = make_stream(seed, regress_index)
+        serial_reports, serial_metrics = run_stream(samples, workers=1)
+        parallel_reports, parallel_metrics = run_stream(samples, workers=4)
+        assert report_bytes(parallel_reports) == report_bytes(serial_reports)
+        # The scan schedule (and thus cache decisions) must match too.
+        for key in ("pipeline.incremental.hits", "pipeline.incremental.misses"):
+            assert parallel_metrics["counters"].get(key) == \
+                serial_metrics["counters"].get(key)
+
+    def test_known_regression_detected_in_both_modes(self):
+        samples = make_stream(seed=7, regress_index=3)
+        serial_reports, _ = run_stream(samples, workers=1)
+        parallel_reports, _ = run_stream(samples, workers=4)
+        assert {r.metric_id for r in serial_reports} == {"svc.sub3.gcpu"}
+        assert report_bytes(parallel_reports) == report_bytes(serial_reports)
+
+    def test_parallel_merges_worker_metrics(self):
+        samples = make_stream(seed=7, regress_index=3)
+        _, metrics = run_stream(samples, workers=4)
+        counters = metrics["counters"]
+        assert metrics["gauges"]["service.workers"] == 4.0
+        assert counters["service.parallel_advances"] > 0
+        # Worker-side instruments survived the merge back into the parent.
+        assert counters["ingest.flushed"] == len(SERIES) * N_TICKS
+        assert metrics["histograms"]["service.shard_advance_seconds"]["count"] > 0
+        assert metrics["histograms"]["scheduler.scan_seconds"]["count"] > 0
+
+
+class TestKillRestoreUnderWorkers:
+    KILL_TICK = 950  # after the first report (scan at t=54000) lands
+
+    def test_kill_mid_stream_restore_with_workers(self, tmp_path):
+        """Regression test: restore must drop derived incremental state.
+
+        A service killed mid-stream and restored under ``workers=4``
+        must deliver exactly the reports the uninterrupted run would
+        have — even though the checkpoint blobs carry warm scan caches
+        whose anchors describe pre-kill history.
+        """
+        samples = make_stream(seed=7, regress_index=3)
+        split = self.KILL_TICK * len(SERIES)
+
+        reference_reports, _ = run_stream(samples, workers=4)
+
+        sink_before = CollectingSink()
+        victim = make_service(sink_before, workers=4)
+        chunk = 200 * len(SERIES)
+        for begin in range(0, split, chunk):
+            batch = samples[begin : min(begin + chunk, split)]
+            victim.ingest_many(batch)
+            victim.advance_to(batch[-1].timestamp + INTERVAL)
+        assert sink_before.reports, "first report must land before the kill"
+        directory = str(tmp_path / "ckpt")
+        victim.checkpoint(directory)
+        victim.close()
+        del victim  # the "crash"
+
+        sink_after = CollectingSink()
+        restored = StreamingDetectionService.restore(
+            directory, sinks=[sink_after], workers=4
+        )
+        # The trust boundary: every restored pipeline starts with an
+        # empty incremental cache, whatever the blob carried.
+        for shard in restored._shards.values():
+            for registration in shard.scheduler._monitors.values():
+                cache = registration.detector.pipeline.incremental_cache
+                assert cache is not None and len(cache) == 0
+
+        for begin in range(split, len(samples), chunk):
+            batch = samples[begin : begin + chunk]
+            restored.ingest_many(batch)
+            restored.advance_to(batch[-1].timestamp + INTERVAL)
+        restored.close()
+
+        combined = sink_before.reports + sink_after.reports
+        assert report_bytes(combined) == report_bytes(reference_reports)
+
+    def test_checkpoint_blobs_keep_caches_but_restore_drops_them(self, tmp_path):
+        samples = make_stream(seed=7, regress_index=3)
+        split = self.KILL_TICK * len(SERIES)
+        service = make_service(CollectingSink(), workers=1)
+        chunk = 200 * len(SERIES)
+        for begin in range(0, split, chunk):
+            batch = samples[begin : min(begin + chunk, split)]
+            service.ingest_many(batch)
+            service.advance_to(batch[-1].timestamp + INTERVAL)
+        # The live service holds warm anchors by now.
+        warm = sum(
+            len(registration.detector.pipeline.incremental_cache)
+            for shard in service._shards.values()
+            for registration in shard.scheduler._monitors.values()
+        )
+        assert warm > 0
+        directory = str(tmp_path / "ckpt")
+        service.checkpoint(directory)
+        restored = StreamingDetectionService.restore(directory)
+        cold = sum(
+            len(registration.detector.pipeline.incremental_cache)
+            for shard in restored._shards.values()
+            for registration in shard.scheduler._monitors.values()
+        )
+        assert cold == 0
