@@ -137,7 +137,13 @@ class IncrementalScanCache:
         analysis_values: Sequence[float],
         had_candidate: bool,
     ) -> None:
-        """Re-anchor ``series`` after a full scan at reference ``now``."""
+        """Re-anchor ``series`` after a full scan at reference ``now``.
+
+        ``analysis_values`` must be in the series' raw value domain (no
+        metric orientation applied): :meth:`should_scan` folds raw tail
+        values into the screen, and the two-sided CUSUM catches shifts
+        in either direction anyway.
+        """
         if len(series) == 0:
             return
         self._anchors[series.name] = _SeriesAnchor(

@@ -332,12 +332,18 @@ class DetectionPipeline:
         self, series: TimeSeries, now: float, funnel: FunnelCounters
     ) -> Optional[Regression]:
         cache = self.incremental_cache
-        if cache is not None and not cache.should_scan(series, now):
-            # Cache hit: the screen saw no shift in the new points and
-            # the previous full scan found nothing — skip the O(W) path.
+        if cache is not None:
+            if not cache.should_scan(series, now):
+                # Cache hit: the screen saw no shift in the new points and
+                # the previous full scan found nothing — skip the O(W) path.
+                if self.metrics is not None:
+                    self.metrics.inc("pipeline.incremental.hits")
+                return None
+            # Count the miss at the decision point so the registry agrees
+            # with IncrementalScanCache.hit_rate even when the scan below
+            # bails on insufficient data.
             if self.metrics is not None:
-                self.metrics.inc("pipeline.incremental.hits")
-            return None
+                self.metrics.inc("pipeline.incremental.misses")
 
         windowed = self.config.windows.view(series, now)
         if not windowed.has_minimum_data(
@@ -348,9 +354,14 @@ class DetectionPipeline:
         oriented_analysis = self._oriented(windowed.analysis)
         candidate = self.change_point_detector.detect_increase(oriented_analysis)
         if cache is not None:
-            cache.record_full_scan(series, now, oriented_analysis, candidate is not None)
-            if self.metrics is not None:
-                self.metrics.inc("pipeline.incremental.misses")
+            # Anchor on the *raw* analysis values: should_scan folds raw
+            # tail values into the screen, and the CUSUM is two-sided,
+            # so orientation must not be applied here (a sign-flipped
+            # reference would fire the screen on every quiet
+            # lower-is-worse series).
+            cache.record_full_scan(
+                series, now, windowed.analysis, candidate is not None
+            )
         if candidate is None:
             return None
         funnel.survived("change_points")

@@ -95,6 +95,11 @@ class ShardIngestWorker:
         self.metrics = metrics
         self._queue: Deque[Sample] = deque()
         self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        # While an advance is in flight the queue's contents belong to a
+        # worker-process blob and the live database is about to be
+        # replaced: flushing would write into state that gets discarded.
+        self._advancing = False
         # Plain-int counters: picklable, cheap, checkpointed with the shard.
         self.offered = 0
         self.accepted = 0
@@ -127,7 +132,13 @@ class ShardIngestWorker:
                 else:  # BLOCK: caller-runs — flush a batch to make room.
                     self.blocking_flushes += 1
                     self._inc("ingest.blocking_flushes")
-                    self._flush_batch()
+                    # During an advance the database is stale: wait for
+                    # the swap (or for the drain that accompanies it) to
+                    # make room instead of flushing into discarded state.
+                    while self._advancing and len(self._queue) >= self.capacity:
+                        self._cond.wait()
+                    if len(self._queue) >= self.capacity:
+                        self._flush_batch()
             self._queue.append(sample)
             self.accepted += 1
             self._inc("ingest.accepted")
@@ -152,6 +163,11 @@ class ShardIngestWorker:
         """
         written = 0
         with self._lock:
+            if self._advancing:
+                # The queue's contents (and the database) are owned by an
+                # in-flight advance; anything buffered here is carried
+                # over when the advanced state is installed.
+                return 0
             while self._queue:
                 written += self._flush_batch()
         return written
@@ -176,6 +192,14 @@ class ShardIngestWorker:
         return written
 
     # -- state-swap support (parallel executor) --------------------------
+    #
+    # The parallel path never replaces this object: producers and
+    # background flushers hold references to it, and swapping it out
+    # would leave a window where offers land in an abandoned queue.
+    # Instead the service brackets each advance with begin_advance() /
+    # complete_advance() (or abort_advance() on failure), and the
+    # advanced database plus flush-side counter deltas are transplanted
+    # into this live worker under its own lock.
 
     @contextmanager
     def paused(self) -> Iterator[None]:
@@ -184,36 +208,91 @@ class ShardIngestWorker:
         The parallel executor serializes shard state from the service
         thread while producers may still be offering; pausing makes the
         pickled snapshot internally consistent (offers block briefly,
-        then land in the live queue and are carried over via
-        :meth:`drain_pending` / :meth:`requeue` when the advanced state
-        is installed).
+        then land in the live queue and are carried over when the
+        advanced state is installed).
         """
         with self._lock:
             yield
 
+    def begin_advance(self) -> Dict[str, int]:
+        """Enter advancing mode: suspend flushes until the swap resolves.
+
+        While advancing, :meth:`flush` is a no-op and BLOCK-policy
+        offers wait instead of flushing — both would otherwise write
+        into a database that is discarded when the advanced state lands.
+        Offer-side counters keep running on this object (it stays
+        authoritative for them throughout).
+
+        Returns:
+            The flush-side counter baseline, to be passed back to
+            :meth:`complete_advance` so the deltas the worker process
+            accrues (it flushes the snapshot's queue) can be merged.
+        """
+        with self._lock:
+            self._advancing = True
+            return {
+                "flushed": self.flushed,
+                "flushes": self.flushes,
+                "blocking_flushes": self.blocking_flushes,
+            }
+
+    def complete_advance(
+        self,
+        advanced: "ShardIngestWorker",
+        database: TimeSeriesDatabase,
+        baseline: Dict[str, int],
+    ) -> None:
+        """Adopt an advanced worker's database and flush-counter deltas.
+
+        Args:
+            advanced: The worker copy that ran in the worker process.
+            database: The advanced database this worker flushes into
+                from now on.
+            baseline: Flush counters captured by :meth:`begin_advance`;
+                ``advanced``'s counters minus the baseline are the
+                flushes the worker process performed on our behalf.
+        """
+        with self._lock:
+            self.database = database
+            self.flushed += advanced.flushed - baseline["flushed"]
+            self.flushes += advanced.flushes - baseline["flushes"]
+            self.blocking_flushes += (
+                advanced.blocking_flushes - baseline["blocking_flushes"]
+            )
+            if advanced._queue:  # pragma: no cover - workers flush fully
+                self._queue.extendleft(reversed(advanced._queue))
+            self._advancing = False
+            self._cond.notify_all()
+
+    def abort_advance(self, restore: Iterable[Sample] = ()) -> None:
+        """Leave advancing mode without installing new state.
+
+        Args:
+            restore: Samples that were drained into the (now failed)
+                snapshot blob; they are put back at the *front* of the
+                queue — they predate anything offered since.
+        """
+        with self._lock:
+            restored = list(restore)
+            if restored:
+                self._queue.extendleft(reversed(restored))
+            self._advancing = False
+            self._cond.notify_all()
+
     def drain_pending(self) -> List[Sample]:
         """Remove and return everything buffered, without flushing it.
 
-        Used when swapping in a worker's advanced state: samples offered
-        to the *old* queue after the snapshot was taken are drained here
-        and re-queued on the new state, so nothing is lost or counted
-        twice.
+        Used when snapshotting for a worker process: ownership of the
+        buffered samples transfers to the pickled blob (whose copy the
+        worker flushes), so they must leave the live queue to avoid
+        double ingestion.  Waiting BLOCK-policy producers are notified —
+        the queue just gained room.
         """
         with self._lock:
             pending = list(self._queue)
             self._queue.clear()
+            self._cond.notify_all()
             return pending
-
-    def requeue(self, samples: Iterable[Sample]) -> None:
-        """Re-buffer samples that were already counted as accepted.
-
-        Unlike :meth:`offer`, this does not touch the offered/accepted
-        counters (the samples were counted on first offer) and does not
-        apply backpressure: the carried-over burst is bounded by what
-        producers managed to offer during one advance cycle.
-        """
-        with self._lock:
-            self._queue.extend(samples)
 
     # -- introspection / pickling ----------------------------------------
 
@@ -237,6 +316,10 @@ class ShardIngestWorker:
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state.pop("_lock", None)
+        state.pop("_cond", None)
+        # The advancing flag describes the *live* object: the pickled
+        # copy is exactly what the worker process must flush.
+        state["_advancing"] = False
         # The shared registry is restored by the service, not the pickle.
         state["metrics"] = None
         return state
@@ -244,3 +327,5 @@ class ShardIngestWorker:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._advancing = False

@@ -152,6 +152,8 @@ class _Shard:
             metrics=metrics,
         )
         self.scans = 0
+        self._advance_baseline: Dict[str, int] = {}
+        self._advance_drained: List[Sample] = []
 
     def state(self) -> dict:
         """Checkpointable state (pickled as one blob, shared refs intact)."""
@@ -168,7 +170,12 @@ class _Shard:
         metrics: MetricsRegistry,
         drop_derived: bool = False,
     ) -> None:
-        """Install (un)pickled shard state.
+        """Install (un)pickled shard state (checkpoint-restore path).
+
+        Only used when rebuilding a service from a checkpoint, before
+        any producer or flusher thread holds a reference to the shard's
+        worker — the parallel advance path never replaces live objects
+        (see :meth:`begin_advance` / :meth:`complete_advance`).
 
         Args:
             state: A :meth:`state`-shaped dict.
@@ -177,9 +184,7 @@ class _Shard:
             drop_derived: Invalidate derived caches (incremental-scan
                 anchors).  True on checkpoint *restore* — a trust
                 boundary where stale anchors must never suppress a
-                re-scan; False when installing a parallel worker's
-                advanced state, which is a continuation of this very
-                process's timeline.
+                re-scan.
         """
         self.database = state["database"]
         self.worker = state["worker"]
@@ -191,21 +196,48 @@ class _Shard:
         if drop_derived:
             self.scheduler.invalidate_incremental()
 
-    def snapshot_blob(self) -> bytes:
-        """Serialize this shard's state under its queue lock.
+    def begin_advance(self) -> bytes:
+        """Snapshot this shard for a worker process and suspend flushes.
 
-        Ownership of queued samples transfers to the blob: the live
-        queue is cleared after the dump so the worker process (which
-        flushes the blob's copy) is the only one that ingests them.
-        Producers offering concurrently block for the duration of the
-        dump; anything offered afterwards lands in the now-empty live
-        queue and is carried over when the advanced state is installed
-        (see :meth:`StreamingDetectionService.advance_to`).
+        Serializes the shard state under the worker's queue lock;
+        ownership of queued samples transfers to the blob (the worker
+        process flushes the blob's copy), so the live queue is cleared
+        after the dump — the drained samples are kept aside so
+        :meth:`abort_advance` can put them back if the advance fails.
+
+        Until :meth:`complete_advance` or :meth:`abort_advance` runs,
+        the live worker stays in advancing mode: background or
+        BLOCK-policy flushes are held off so no sample is ever written
+        into the stale database this snapshot supersedes.  Offers keep
+        landing in the live queue and are carried across the swap.
         """
         with self.worker.paused():
+            self._advance_baseline = self.worker.begin_advance()
             blob = pickle.dumps(self.state(), protocol=pickle.HIGHEST_PROTOCOL)
-            self.worker.drain_pending()  # contents now owned by the blob
+            self._advance_drained = self.worker.drain_pending()
             return blob
+
+    def complete_advance(self, state: dict, metrics: MetricsRegistry) -> None:
+        """Install a worker process's advanced state into the live shard.
+
+        The live :class:`~repro.service.ingest.ShardIngestWorker` object
+        is kept (producers and flusher threads hold references to it);
+        it adopts the advanced database and the flush-side counter
+        deltas the worker process accrued, then resumes flushing.
+        """
+        self.database = state["database"]
+        self.scheduler = state["scheduler"]
+        self.scheduler.wire_metrics(metrics)
+        self.scans = state.get("scans", self.scans)
+        self.worker.complete_advance(
+            state["worker"], self.database, self._advance_baseline
+        )
+        self._advance_drained = []
+
+    def abort_advance(self) -> None:
+        """Roll back a failed advance: restore drained samples, resume."""
+        self.worker.abort_advance(self._advance_drained)
+        self._advance_drained = []
 
 
 class StreamingDetectionService:
@@ -407,28 +439,30 @@ class StreamingDetectionService:
     def _advance_parallel(
         self, target: float, delivered: List[IncidentReport]
     ) -> None:
-        """Fan shard advances out to worker processes and merge back."""
+        """Fan shard advances out to worker processes and merge back.
+
+        Every shard enters advancing mode before the fan-out (flushes
+        into the soon-to-be-stale databases are held off; offers keep
+        accumulating in the live queues) and leaves it in the merge
+        loop, where the live worker adopts the advanced database and
+        flush-counter deltas under its own lock.  If the pool fails, the
+        snapshots' queued samples are restored and flushing resumes —
+        the nothing-is-lost contract holds on both paths.
+        """
         blobs = {
-            shard_id: shard.snapshot_blob()
+            shard_id: shard.begin_advance()
             for shard_id, shard in self._shards.items()
         }
-        results = self._executor.map_shards(blobs, target)  # sorted by id
+        try:
+            results = self._executor.map_shards(blobs, target)  # sorted by id
+        except BaseException:
+            for shard in self._shards.values():
+                shard.abort_advance()
+            raise
         self.metrics.inc("service.parallel_advances")
         for result in results:
             shard = self._shards[result.shard_id]
-            # Samples offered after the snapshot live in the old queue
-            # (the snapshot emptied it); carry them — and the offer-side
-            # counters, which the old worker kept authoritative while
-            # the advance ran — into the advanced state.
-            old_worker = shard.worker
-            carried = old_worker.drain_pending()
-            shard.load_state(result.state, self.metrics)
-            if carried:
-                shard.worker.requeue(carried)
-            shard.worker.offered = old_worker.offered
-            shard.worker.accepted = old_worker.accepted
-            shard.worker.dropped_oldest = old_worker.dropped_oldest
-            shard.worker.rejected = old_worker.rejected
+            shard.complete_advance(result.state, self.metrics)
             self.metrics.observe("service.shard_advance_seconds", result.elapsed)
             self.metrics.merge(result.metrics)
             self._deliver(shard, result.outcomes, delivered)

@@ -202,3 +202,68 @@ class TestFBDetect:
             regression_values(rng, shift=0.0001), tags={"metric": "gcpu"}
         )
         assert len(result.reported) >= 1
+
+
+class TestIncrementalScanIntegration:
+    """Pipeline-level contracts of the incremental scan cache."""
+
+    def append_quiet(self, series, rng, start, n=10, mean=0.001):
+        for tick in range(n):
+            series.append(start + (tick + 1) * 60.0,
+                          float(rng.normal(mean, 0.00002)))
+
+    def test_lower_is_worse_quiet_series_hits_cache(self, rng):
+        """Regression test: the screen anchors on *raw* values.
+
+        With a negated (oriented) anchor, every lower-is-worse series
+        has a sign-flipped reference mean, the screen fires on the very
+        first folded point, and the cache never produces a hit.
+        """
+        db = TimeSeriesDatabase()
+        fill_series(db, "svc.qps", rng.normal(0.001, 0.00002, 900),
+                    tags={"metric": "qps"})
+        pipeline = DetectionPipeline(
+            small_config(higher_is_worse=False), incremental=True
+        )
+        pipeline.run(db, now=54_000.0)
+        self.append_quiet(db.get("svc.qps"), rng, start=54_000.0)
+        pipeline.run(db, now=54_600.0)
+        cache = pipeline.incremental_cache
+        assert cache.hits >= 1
+        assert cache.invalidations == 0
+
+    def test_lower_is_worse_drop_still_detected_incrementally(self, rng):
+        """A throughput drop must fire the screen and reach the detector."""
+        db = TimeSeriesDatabase()
+        values = rng.normal(0.001, 0.00002, 900)
+        values[700:] -= 0.0003  # drop = regression when lower is worse
+        fill_series(db, "svc.qps", values, tags={"metric": "qps"})
+        pipeline = DetectionPipeline(
+            small_config(higher_is_worse=False), incremental=True
+        )
+        result = pipeline.run(db, now=54_000.0)
+        assert len(result.reported) == 1
+
+    def test_registry_miss_counter_agrees_with_cache(self, rng):
+        """Misses are counted at the decision point, not after the scan.
+
+        A series too short for ``has_minimum_data`` bails before the
+        detector runs; the registry counter must still see that miss or
+        the two hit rates diverge.
+        """
+        from repro.service import MetricsRegistry
+
+        db = TimeSeriesDatabase()
+        fill_series(db, "svc.sparse.gcpu", [0.001] * 5,
+                    tags={"metric": "gcpu"})
+        registry = MetricsRegistry()
+        pipeline = DetectionPipeline(
+            small_config(), incremental=True, metrics=registry
+        )
+        pipeline.run(db, now=54_000.0)
+        pipeline.run(db, now=54_060.0)
+        cache = pipeline.incremental_cache
+        counters = registry.snapshot()["counters"]
+        assert cache.misses == 2
+        assert counters.get("pipeline.incremental.misses", 0) == cache.misses
+        assert counters.get("pipeline.incremental.hits", 0) == cache.hits

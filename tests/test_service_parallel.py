@@ -9,6 +9,8 @@ cache dropped at the trust boundary.
 """
 
 import json
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -149,6 +151,75 @@ class TestSerialParallelEquivalence:
         assert counters["ingest.flushed"] == len(SERIES) * N_TICKS
         assert metrics["histograms"]["service.shard_advance_seconds"]["count"] > 0
         assert metrics["histograms"]["scheduler.scan_seconds"]["count"] > 0
+
+
+class TestConcurrentIngestDuringAdvance:
+    """The nothing-is-lost contract under live streaming + workers>1.
+
+    Regression test for the stale-database flush race: with background
+    flushers (``start()``) or BLOCK-policy caller-runs flushes active
+    while a parallel advance is in flight, samples used to be flushed
+    into the superseded pre-advance database and silently discarded
+    when the advanced state landed.  Every accepted sample must end up
+    in a shard TSDB, exactly once.
+    """
+
+    N_PRODUCERS = 4
+
+    def test_no_accepted_sample_lost_with_flushers_and_block(self):
+        service = StreamingDetectionService(
+            n_shards=2,
+            workers=2,
+            queue_capacity=32,
+            backpressure=BackpressurePolicy.BLOCK,
+            batch_size=8,
+        )
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        service.start(flush_interval=0.001)
+        stop = threading.Event()
+        counts = [0] * self.N_PRODUCERS
+
+        def produce(index):
+            name = SERIES[index]
+            while not stop.is_set():
+                service.ingest(
+                    name, counts[index] * INTERVAL, 0.001, {"metric": "gcpu"}
+                )
+                counts[index] += 1
+                time.sleep(0.0005)  # bound the stream volume
+
+        producers = [
+            threading.Thread(target=produce, args=(index,), daemon=True)
+            for index in range(self.N_PRODUCERS)
+        ]
+        for producer in producers:
+            producer.start()
+        # Parallel advances race against live producers and flushers.
+        for round_index in range(4):
+            service.advance_to((round_index + 1) * 10_000.0)
+        stop.set()
+        for producer in producers:
+            producer.join(timeout=10.0)
+        assert not any(producer.is_alive() for producer in producers)
+        service.stop()  # drain whatever is still queued
+
+        stats = service.stats()
+        total_offered = sum(counts)
+        assert stats.offered == total_offered
+        assert stats.accepted == total_offered  # BLOCK never sheds load
+        assert stats.dropped == 0 and stats.rejected == 0
+        total_points = sum(
+            len(series)
+            for shard_id in range(2)
+            for series in service.shard_database(shard_id)
+        )
+        # Exactly once: nothing lost to a stale database, nothing
+        # double-ingested across the swap.
+        assert stats.flushed == total_offered
+        assert total_points == total_offered
+        service.close()
 
 
 class TestKillRestoreUnderWorkers:
