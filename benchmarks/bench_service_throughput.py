@@ -276,6 +276,55 @@ def test_incremental_cache_cuts_rescan_cost(capsys):
     assert elapsed_by_mode["incremental"] < elapsed_by_mode["full"]
 
 
+def test_observability_overhead_within_bounds(capsys):
+    """Span tracing on the scan hot path must stay in the noise.
+
+    Same workload, same schedule, traced vs. untraced pipelines; the
+    acceptance target is <= 5% overhead (reported in the table), with a
+    loose 25% assertion bound so scheduler jitter on busy CI machines
+    never flakes the gate — the precise number is tracked by
+    check_bench_regression.py history, not this assert.
+    """
+    values = _scan_values(series=SERIES)
+    rows = ["mode      scans  traces  elapsed(s)"]
+    elapsed_by_mode = {}
+    for traced in (False, True):
+        service = _build_scan_service(workers=1, incremental=True)
+        if not traced:
+            # register_monitor already ran inside the builder; detach the
+            # span recorder from every pipeline for the untraced run.
+            for shard_id in range(service.n_shards):
+                service._shards[shard_id].scheduler.wire_tracer(None)
+        for name, series_values in values.items():
+            service.ingest_many(
+                [
+                    Sample(name, tick * INTERVAL, float(series_values[tick]),
+                           {"metric": "gcpu"})
+                    for tick in range(HIST_TICKS)
+                ]
+            )
+        service.flush()
+        started = time.perf_counter()
+        for round_index in range(SCAN_ROUNDS):
+            service.advance_to(HIST_TICKS * INTERVAL + round_index * RERUN)
+        elapsed = time.perf_counter() - started
+        mode = "traced" if traced else "plain"
+        elapsed_by_mode[mode] = elapsed
+        scans = service.metrics.histogram("scheduler.scan_seconds").count
+        traces = len(service.traces)
+        if traced:
+            assert traces == scans  # one RunTrace per scan, none lost
+        else:
+            assert traces == 0
+        rows.append(f"{mode:8s}  {scans:5d}  {traces:6d}  {elapsed:10.3f}")
+        service.close()
+
+    overhead = elapsed_by_mode["traced"] / elapsed_by_mode["plain"] - 1.0
+    rows.append(f"span-tracing overhead: {overhead:+.1%} (target <= 5%)")
+    emit("Observability overhead (funnel spans on the scan hot path)", rows)
+    assert elapsed_by_mode["traced"] <= elapsed_by_mode["plain"] * 1.25
+
+
 def main(argv=None):
     """CLI entry: measure the parallel speedup at ``--workers N``.
 

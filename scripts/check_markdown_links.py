@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation suite (stdlib only).
+
+Run by the ``docs`` CI job (and by ``tests/test_docs.py``) over the
+repo's markdown files.  Checks, for every inline link, image, and
+reference-style definition:
+
+- **relative file links** resolve to an existing file or directory
+  inside the repository (absolute paths are rejected — they would only
+  work on the committer's machine);
+- **anchor fragments** (``doc.md#section`` or same-file ``#section``)
+  match a heading in the target file, using GitHub's slugification
+  rules;
+- external schemes (``http(s)://``, ``mailto:``) are *not* fetched —
+  CI must not depend on the network — but obviously malformed ones
+  (no host) still fail.
+
+Usage::
+
+    python scripts/check_markdown_links.py             # default doc set
+    python scripts/check_markdown_links.py README.md docs/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterable, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Files/directories scanned when no arguments are given.
+DEFAULT_TARGETS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "CHANGES.md",
+    "ROADMAP.md",
+    "docs",
+)
+
+# [text](target "title") and ![alt](target) — title segment optional.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# [label]: target reference definitions.
+_REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+_HEADING = re.compile(r"^\s{0,3}(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def _markdown_files(targets: Iterable[str]) -> List[str]:
+    files = []
+    for target in targets:
+        path = os.path.join(REPO_ROOT, target)
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".md")
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_]", "", text)  # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _lines_outside_fences(text: str) -> Iterable[Tuple[int, str]]:
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def _anchors(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    slugs: dict = {}
+    anchors = set()
+    for _number, line in _lines_outside_fences(text):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # Duplicate headings get -1, -2, ... suffixes on GitHub.
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _links(path: str) -> Iterable[Tuple[int, str]]:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for number, line in _lines_outside_fences(text):
+        # Strip inline code spans so `[i](x)` in code is not a link.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        ref = _REF_DEF.match(stripped)
+        if ref:
+            yield number, ref.group(1)
+            continue
+        for match in _INLINE_LINK.finditer(stripped):
+            yield number, match.group(1)
+
+
+def _check_link(source: str, target: str) -> Optional[str]:
+    if target.startswith(("http://", "https://")):
+        host = target.split("://", 1)[1]
+        return None if host.strip("/") else f"malformed URL: {target}"
+    if target.startswith("mailto:"):
+        return None
+    if target.startswith("#"):
+        fragment = target[1:].lower()
+        if fragment not in _anchors(source):
+            return f"no heading for anchor {target}"
+        return None
+    if os.path.isabs(target):
+        return f"absolute path will not resolve from a checkout: {target}"
+    rel, _, fragment = target.partition("#")
+    resolved = os.path.normpath(os.path.join(os.path.dirname(source), rel))
+    if not os.path.exists(resolved):
+        return f"broken relative link: {rel}"
+    if fragment and not resolved.endswith(".md"):
+        return f"anchor on non-markdown target: {target}"
+    if fragment and fragment.lower() not in _anchors(resolved):
+        return f"no heading for anchor #{fragment} in {rel}"
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help="markdown files or directories, relative to the repo root",
+    )
+    args = parser.parse_args(argv)
+
+    errors = []
+    checked = 0
+    for path in _markdown_files(args.targets):
+        display = os.path.relpath(path, REPO_ROOT)
+        for number, target in _links(path):
+            checked += 1
+            problem = _check_link(path, target)
+            if problem:
+                errors.append(f"{display}:{number}: {problem}")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} links, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

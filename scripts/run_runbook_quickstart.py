@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Execute the RUNBOOK quickstart block verbatim (doctest for docs).
+
+The ``docs`` CI job runs this so the commands operators copy-paste from
+``docs/RUNBOOK.md`` cannot rot.  The script extracts the fenced shell
+block introduced by the ``<!-- ci:quickstart -->`` marker, writes it to
+a scratch directory, and runs it under ``sh -e`` (fail on first error)
+with ``PYTHONPATH`` pointing at this checkout's ``src``.
+
+Usage::
+
+    python scripts/run_runbook_quickstart.py            # run it
+    python scripts/run_runbook_quickstart.py --print    # show the block
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RUNBOOK = os.path.join(REPO_ROOT, "docs", "RUNBOOK.md")
+MARKER = "<!-- ci:quickstart -->"
+
+_BLOCK = re.compile(
+    re.escape(MARKER) + r"\s*\n```(?:bash|sh|console)\n(.*?)\n```",
+    re.DOTALL,
+)
+
+
+def extract_quickstart(path: str = RUNBOOK) -> str:
+    """Return the quickstart shell script from the runbook.
+
+    Raises ``ValueError`` when the marker or its fenced block is
+    missing — a deleted or mangled quickstart must fail CI, not pass
+    vacuously.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    match = _BLOCK.search(text)
+    if not match:
+        raise ValueError(
+            f"{path} has no '{MARKER}' marker followed by a fenced "
+            "bash block"
+        )
+    script = match.group(1).strip()
+    if not script:
+        raise ValueError(f"quickstart block in {path} is empty")
+    return script
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--print",
+        dest="print_only",
+        action="store_true",
+        help="print the extracted block instead of running it",
+    )
+    args = parser.parse_args(argv)
+
+    script = extract_quickstart()
+    if args.print_only:
+        print(script)
+        return 0
+
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src, env.get("PYTHONPATH")])
+    )
+
+    # A scratch cwd keeps artifacts (./demo-checkpoint) out of the repo.
+    with tempfile.TemporaryDirectory(prefix="runbook-quickstart-") as scratch:
+        path = os.path.join(scratch, "quickstart.sh")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(script + "\n")
+        print(f"+ sh -e quickstart.sh (cwd={scratch})", flush=True)
+        result = subprocess.run(
+            ["sh", "-e", path], cwd=scratch, env=env, check=False
+        )
+    if result.returncode:
+        print(
+            f"quickstart failed with exit code {result.returncode}",
+            file=sys.stderr,
+        )
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

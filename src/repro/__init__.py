@@ -36,6 +36,9 @@ Subpackages:
 - :mod:`repro.runtime` — the scheduler and incident sinks.
 - :mod:`repro.service` — the sharded streaming detection service
   (consistent-hash routing, backpressure, checkpoints, self-metrics).
+- :mod:`repro.obs` — observability: structured JSON logging with
+  correlation ids, funnel-stage span tracing, and the ``/metrics`` +
+  ``/healthz`` + ``/status`` pull endpoints.
 """
 
 from repro.config import TABLE1_CONFIGS, DetectionConfig, table1_config
@@ -50,6 +53,7 @@ from repro.core.types import (
     RegressionGroup,
     RegressionKind,
 )
+from repro.obs import FunnelTrace, RunTrace, Span, TraceStore
 from repro.service import (
     BackpressurePolicy,
     CheckpointManager,
@@ -73,6 +77,7 @@ __all__ = [
     "FBDetect",
     "FilterReason",
     "FunnelCounters",
+    "FunnelTrace",
     "MetricContext",
     "MetricsRegistry",
     "PipelineResult",
@@ -81,7 +86,10 @@ __all__ = [
     "Regression",
     "RegressionGroup",
     "RegressionKind",
+    "RunTrace",
     "Sample",
+    "Span",
+    "TraceStore",
     "ServiceStats",
     "StreamingDetectionService",
     "TABLE1_CONFIGS",

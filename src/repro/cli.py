@@ -117,6 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a service checkpoint here after the run",
     )
+    serve.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        help="serve /metrics, /healthz and /status on this port for the "
+        "duration of the run (0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (one object per line) on stderr",
+    )
 
     sub.add_parser("presets", help="list Table 1 workload presets")
     return parser
@@ -253,6 +265,11 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         rerun_interval=max(args.interval, span / 10),
     )
 
+    if args.log_json:
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
+
     sink = CollectingSink()
     service = StreamingDetectionService(
         n_shards=args.shards,
@@ -265,6 +282,14 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     service.register_monitor(
         args.preset, config, series_filter={"metric": "gcpu"}
     )
+
+    obs_server = None
+    if args.obs_port is not None:
+        from repro.obs import ObservabilityServer
+
+        obs_server = ObservabilityServer(service, port=args.obs_port).start()
+        print(f"observability endpoints at {obs_server.url} "
+              "(/metrics /healthz /status)")
 
     for _ in range(args.ticks):
         tick_time = simulator.time
@@ -309,6 +334,24 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.checkpoint_dir:
         path = service.checkpoint(args.checkpoint_dir)
         print(f"\ncheckpoint written to {path}")
+    if obs_server is not None:
+        # Self-scrape before shutdown so the demo proves the endpoints
+        # answer over real HTTP, not just in-process.
+        import urllib.request
+
+        print()
+        for endpoint in ("/metrics", "/healthz", "/status"):
+            try:
+                with urllib.request.urlopen(
+                    obs_server.url + endpoint, timeout=5.0
+                ) as response:
+                    print(f"self-scrape {endpoint}: HTTP {response.status}, "
+                          f"{len(response.read())} bytes")
+            except OSError as error:  # pragma: no cover - diagnostics only
+                print(f"self-scrape {endpoint}: failed ({error})")
+        print()
+        print(service.funnel_trace().render())
+        obs_server.stop()
     service.close()
     return 0
 

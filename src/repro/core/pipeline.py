@@ -10,10 +10,15 @@ again by PairwiseDedup, and finally root-caused.
 
 Per-stage survivor counts are kept in :class:`FunnelCounters`, which
 reproduces Table 3's "remaining anomalies after each technique" rows.
+When a tracer (:class:`~repro.obs.spans.TraceStore`) is attached, every
+run additionally records one :class:`~repro.obs.spans.Span` per stage —
+input/output candidate counts, drop reasons, and elapsed time — so the
+funnel's attrition is auditable live, not just in aggregate.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -41,23 +46,19 @@ from repro.core.types import (
 )
 from repro.core.went_away import WentAwayDetector
 from repro.fleet.changes import ChangeLog
+from repro.obs.logging import get_logger
+from repro.obs.spans import STAGES, RunTrace, StageTally
 from repro.profiling.stacktrace import StackTrace
 from repro.tsdb.database import TimeSeriesDatabase
 from repro.tsdb.series import TimeSeries
 
-__all__ = ["FunnelCounters", "PipelineResult", "DetectionPipeline"]
+__all__ = ["STAGES", "FunnelCounters", "PipelineResult", "DetectionPipeline"]
 
-#: Canonical stage order, matching Table 3 rows.
-STAGES = (
-    "change_points",
-    "went_away",
-    "seasonality",
-    "threshold",
-    "same_regression",
-    "som_dedup",
-    "cost_shift",
-    "pairwise_dedup",
-)
+# STAGES (the canonical Table 3 stage order) now lives in
+# repro.obs.spans so observability consumers need no detection imports;
+# it is re-exported here for compatibility.
+
+_log = get_logger("repro.core.pipeline")
 
 
 @dataclass
@@ -153,6 +154,13 @@ class DetectionPipeline:
             per-stage latency histograms and candidate counters.  Kept
             duck-typed so the core pipeline does not import the service
             layer.
+        tracer: Optional trace recorder (must expose ``record(run)``,
+            e.g. :class:`repro.obs.spans.TraceStore`).  When set, every
+            :meth:`run` emits one :class:`~repro.obs.spans.RunTrace`
+            holding one span per funnel stage, with input/output counts
+            that telescope on the short-term path and per-stage drop
+            reasons.  ``None`` (the default) keeps the scan hot path
+            free of tally work.
     """
 
     def __init__(
@@ -171,6 +179,7 @@ class DetectionPipeline:
         enable_pairwise_dedup: bool = True,
         incremental: bool = False,
         metrics: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.config = config
         self.change_log = change_log if change_log is not None else ChangeLog()
@@ -190,6 +199,7 @@ class DetectionPipeline:
             else None
         )
         self.metrics = metrics
+        self.tracer = tracer
 
         self.change_point_detector = ChangePointDetector()
         self.went_away_detector = WentAwayDetector()
@@ -213,16 +223,25 @@ class DetectionPipeline:
     def run(self, database: TimeSeriesDatabase, now: float) -> PipelineResult:
         """One periodic detection scan at reference time ``now``."""
         run_started = time.perf_counter()
+        wall_started = time.time()
         funnel = FunnelCounters()
         candidates: List[Regression] = []
+        # One StageTally per funnel stage, frozen into spans at the end
+        # of the run.  ``None`` when tracing is off: the per-candidate
+        # sites below then skip all tally (and perf_counter) work.
+        trace: Optional[Dict[str, StageTally]] = (
+            {stage: StageTally() for stage in STAGES}
+            if self.tracer is not None
+            else None
+        )
 
         stage_started = time.perf_counter()
         for series in self._matching_series(database):
-            candidate = self._short_term(series, now, funnel)
+            candidate = self._short_term(series, now, funnel, trace)
             if candidate is not None:
                 candidates.append(candidate)
             if self.config.long_term:
-                long_candidate = self._long_term(series, now, funnel)
+                long_candidate = self._long_term(series, now, funnel, trace)
                 if long_candidate is not None:
                     candidates.append(long_candidate)
         self._observe_stage("detect", stage_started)
@@ -238,6 +257,12 @@ class DetectionPipeline:
             representatives = list(survivors)
         funnel.survived("som_dedup", len(representatives))
         self._observe_stage("som_dedup", stage_started)
+        if trace is not None:
+            trace["som_dedup"].bulk(
+                len(survivors), len(representatives),
+                FilterReason.SOM_DUPLICATE.value,
+                time.perf_counter() - stage_started,
+            )
 
         # Cost-shift analysis on the surviving representatives.
         stage_started = time.perf_counter()
@@ -255,6 +280,12 @@ class DetectionPipeline:
             after_cost_shift = representatives
         funnel.survived("cost_shift", len(after_cost_shift))
         self._observe_stage("cost_shift", stage_started)
+        if trace is not None:
+            trace["cost_shift"].bulk(
+                len(representatives), len(after_cost_shift),
+                FilterReason.COST_SHIFT.value,
+                time.perf_counter() - stage_started,
+            )
 
         # PairwiseDedup against groups from prior runs.
         stage_started = time.perf_counter()
@@ -270,6 +301,12 @@ class DetectionPipeline:
             reported = after_cost_shift
         funnel.survived("pairwise_dedup", len(reported))
         self._observe_stage("pairwise_dedup", stage_started)
+        if trace is not None:
+            trace["pairwise_dedup"].bulk(
+                len(after_cost_shift), len(reported),
+                FilterReason.PAIRWISE_DUPLICATE.value,
+                time.perf_counter() - stage_started,
+            )
 
         # Root-cause analysis for what gets reported.
         stage_started = time.perf_counter()
@@ -282,13 +319,33 @@ class DetectionPipeline:
             analyzer.analyze(regression)
         self._observe_stage("root_cause", stage_started)
 
+        run_seconds = time.perf_counter() - run_started
         if self.metrics is not None:
-            self.metrics.observe(
-                "pipeline.run_seconds", time.perf_counter() - run_started
-            )
+            self.metrics.observe("pipeline.run_seconds", run_seconds)
             self.metrics.inc("pipeline.runs")
             self.metrics.inc("pipeline.candidates", len(candidates))
             self.metrics.inc("pipeline.reported", len(reported))
+
+        if trace is not None:
+            self.tracer.record(
+                RunTrace(
+                    monitor=self.config.name,
+                    now=now,
+                    wall_started=wall_started,
+                    seconds=run_seconds,
+                    spans=tuple(trace[stage].freeze(stage) for stage in STAGES),
+                )
+            )
+        if reported and _log.isEnabledFor(logging.INFO):
+            for regression in reported:
+                _log.info(
+                    "regression reported",
+                    series=regression.context.metric_id,
+                    monitor=self.config.name,
+                    magnitude=regression.magnitude,
+                    change_time=regression.change_time,
+                    detected_at=now,
+                )
 
         return PipelineResult(
             reported=reported,
@@ -329,7 +386,11 @@ class DetectionPipeline:
         return values if self.config.higher_is_worse else -values
 
     def _short_term(
-        self, series: TimeSeries, now: float, funnel: FunnelCounters
+        self,
+        series: TimeSeries,
+        now: float,
+        funnel: FunnelCounters,
+        trace: Optional[Dict[str, StageTally]] = None,
     ) -> Optional[Regression]:
         cache = self.incremental_cache
         if cache is not None:
@@ -338,17 +399,26 @@ class DetectionPipeline:
                 # the previous full scan found nothing — skip the O(W) path.
                 if self.metrics is not None:
                     self.metrics.inc("pipeline.incremental.hits")
+                # Tallied untimed: the hit path is O(new points) and the
+                # tracer must not dominate it with clock reads.
+                if trace is not None:
+                    trace["change_points"].observe(False, "cache_hit")
                 return None
             # Count the miss at the decision point so the registry agrees
             # with IncrementalScanCache.hit_rate even when the scan below
             # bails on insufficient data.
             if self.metrics is not None:
                 self.metrics.inc("pipeline.incremental.misses")
+        started = time.perf_counter() if trace is not None else 0.0
 
         windowed = self.config.windows.view(series, now)
         if not windowed.has_minimum_data(
             self.min_historic_points, self.min_analysis_points
         ):
+            if trace is not None:
+                trace["change_points"].observe(
+                    False, "insufficient_data", time.perf_counter() - started
+                )
             return None
 
         oriented_analysis = self._oriented(windowed.analysis)
@@ -363,8 +433,16 @@ class DetectionPipeline:
                 series, now, windowed.analysis, candidate is not None
             )
         if candidate is None:
+            if trace is not None:
+                trace["change_points"].observe(
+                    False, "no_change_point", time.perf_counter() - started
+                )
             return None
         funnel.survived("change_points")
+        if trace is not None:
+            trace["change_points"].observe(
+                True, seconds=time.perf_counter() - started
+            )
 
         context = MetricContext.from_tags(series.name, series.tags)
         interval = (now - windowed.analysis_start) / max(
@@ -381,20 +459,39 @@ class DetectionPipeline:
             detected_at=now,
         )
 
+        started = time.perf_counter() if trace is not None else 0.0
         if self.enable_went_away:
             verdict = self.went_away_detector.check(regression.window, candidate)
             regression.record(verdict)
             if not verdict.passed:
+                if trace is not None:
+                    trace["went_away"].observe(
+                        False,
+                        verdict.reason.value if verdict.reason else None,
+                        time.perf_counter() - started,
+                    )
                 return regression
         funnel.survived("went_away")
+        if trace is not None:
+            trace["went_away"].observe(True, seconds=time.perf_counter() - started)
 
+        started = time.perf_counter() if trace is not None else 0.0
         if self.enable_seasonality:
             verdict = self.seasonality_detector.check(regression.window, candidate)
             regression.record(verdict)
             if not verdict.passed:
+                if trace is not None:
+                    trace["seasonality"].observe(
+                        False,
+                        verdict.reason.value if verdict.reason else None,
+                        time.perf_counter() - started,
+                    )
                 return regression
         funnel.survived("seasonality")
+        if trace is not None:
+            trace["seasonality"].observe(True, seconds=time.perf_counter() - started)
 
+        started = time.perf_counter() if trace is not None else 0.0
         if not self.config.exceeds_threshold(
             candidate.magnitude, candidate.mean_before
         ):
@@ -407,40 +504,87 @@ class DetectionPipeline:
                     ),
                 )
             )
+            if trace is not None:
+                trace["threshold"].observe(
+                    False,
+                    FilterReason.BELOW_THRESHOLD.value,
+                    time.perf_counter() - started,
+                )
             return regression
         funnel.survived("threshold")
+        if trace is not None:
+            trace["threshold"].observe(True, seconds=time.perf_counter() - started)
 
+        started = time.perf_counter() if trace is not None else 0.0
         if self.planned_changes is not None:
             verdict = self.planned_changes.check(regression)
             regression.record(verdict)
             if not verdict.passed:
+                # Planned-change suppression is not a Table 3 funnel
+                # stage; tally the drop under same_regression so the
+                # span still accounts for every candidate that left the
+                # threshold stage alive.
+                if trace is not None:
+                    trace["same_regression"].observe(
+                        False,
+                        verdict.reason.value if verdict.reason else None,
+                        time.perf_counter() - started,
+                    )
                 return regression
 
         verdict = self.same_regression_merger.check(regression)
         regression.record(verdict)
         if not verdict.passed:
+            if trace is not None:
+                trace["same_regression"].observe(
+                    False,
+                    verdict.reason.value if verdict.reason else None,
+                    time.perf_counter() - started,
+                )
             return regression
         funnel.survived("same_regression")
+        if trace is not None:
+            trace["same_regression"].observe(
+                True, seconds=time.perf_counter() - started
+            )
         return regression
 
     def _long_term(
-        self, series: TimeSeries, now: float, funnel: FunnelCounters
+        self,
+        series: TimeSeries,
+        now: float,
+        funnel: FunnelCounters,
+        trace: Optional[Dict[str, StageTally]] = None,
     ) -> Optional[Regression]:
+        started = time.perf_counter() if trace is not None else 0.0
         windowed = self.config.windows.view(series, now)
         if not windowed.has_minimum_data(
             self.min_historic_points, self.min_analysis_points
         ):
+            if trace is not None:
+                trace["change_points"].observe(
+                    False, "insufficient_data", time.perf_counter() - started
+                )
             return None
         context = MetricContext.from_tags(series.name, series.tags)
         regression = self.long_term_detector.detect(
             self._oriented_view(windowed), context, detected_at=now
         )
         if regression is None:
+            if trace is not None:
+                trace["change_points"].observe(
+                    False, "no_change_point", time.perf_counter() - started
+                )
             return None
         funnel.survived("change_points")
+        if trace is not None:
+            trace["change_points"].observe(
+                True, seconds=time.perf_counter() - started
+            )
         # The long-term path has no went-away stage by design.  Absolute
         # thresholds were enforced inside the detector; relative ones
         # (which need the baseline) are checked here.
+        started = time.perf_counter() if trace is not None else 0.0
         if not self.config.exceeds_threshold(
             regression.magnitude, regression.mean_before
         ):
@@ -453,18 +597,43 @@ class DetectionPipeline:
                     ),
                 )
             )
+            if trace is not None:
+                trace["threshold"].observe(
+                    False,
+                    FilterReason.BELOW_THRESHOLD.value,
+                    time.perf_counter() - started,
+                )
             return regression
         funnel.survived("threshold")
+        if trace is not None:
+            trace["threshold"].observe(True, seconds=time.perf_counter() - started)
+        started = time.perf_counter() if trace is not None else 0.0
         if self.planned_changes is not None:
             verdict = self.planned_changes.check(regression)
             regression.record(verdict)
             if not verdict.passed:
+                if trace is not None:
+                    trace["same_regression"].observe(
+                        False,
+                        verdict.reason.value if verdict.reason else None,
+                        time.perf_counter() - started,
+                    )
                 return regression
         verdict = self.same_regression_merger.check(regression)
         regression.record(verdict)
         if not verdict.passed:
+            if trace is not None:
+                trace["same_regression"].observe(
+                    False,
+                    verdict.reason.value if verdict.reason else None,
+                    time.perf_counter() - started,
+                )
             return regression
         funnel.survived("same_regression")
+        if trace is not None:
+            trace["same_regression"].observe(
+                True, seconds=time.perf_counter() - started
+            )
         return regression
 
     def _oriented_view(self, windowed):

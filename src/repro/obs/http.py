@@ -1,0 +1,183 @@
+"""The pull-based observability surface (stdlib ``http.server``).
+
+:class:`ObservabilityServer` exposes a running
+:class:`~repro.service.service.StreamingDetectionService` (or anything
+duck-typed like one) on three endpoints:
+
+- ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of the
+  self-metrics registry: ingest/backpressure counters, the per-shard
+  advance-latency histograms, incremental-cache hit counters, pipeline
+  stage timings.
+- ``GET /healthz`` — liveness/readiness JSON: per-shard queue depth vs.
+  the backpressure threshold, flusher liveness, checkpoint age.  Answers
+  ``200`` when healthy and ``503`` when degraded, so load balancers and
+  Kubernetes probes can consume it directly.
+- ``GET /status`` — the operator's funnel snapshot: cumulative
+  :class:`~repro.core.pipeline.FunnelCounters`, the live
+  :class:`~repro.obs.spans.FunnelTrace` over retained run traces, and
+  recent per-run spans.
+
+``GET /`` returns a small JSON index of the endpoints.  The server runs
+on a daemon thread (one handler thread per request), binds an ephemeral
+port when ``port=0``, and never blocks detection: every endpoint reads
+snapshots under the service's own locks.
+
+Example::
+
+    server = ObservabilityServer(service, port=0)
+    server.start()
+    print(server.url)         # e.g. http://127.0.0.1:49152
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs.logging import get_logger
+
+__all__ = ["ObservabilityServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_log = get_logger("repro.obs.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three observability endpoints.
+
+    The owning :class:`_Server` carries the service reference; handler
+    instances are per-request and stateless.
+    """
+
+    server_version = "repro-obs/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._send_text(200, self.server.service.render_metrics(),
+                                PROMETHEUS_CONTENT_TYPE)
+            elif path == "/healthz":
+                health = self.server.service.healthz()
+                status = 200 if health.get("status") == "ok" else 503
+                self._send_json(status, health)
+            elif path == "/status":
+                self._send_json(200, self.server.service.status_snapshot())
+            elif path == "/":
+                self._send_json(200, {
+                    "service": "repro-fbdetect",
+                    "endpoints": ["/metrics", "/healthz", "/status"],
+                })
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+        except Exception as error:  # pragma: no cover - defensive surface
+            _log.exception("observability endpoint failed", path=path)
+            self._send_json(500, {"error": str(error)})
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_text(
+            status,
+            json.dumps(payload, sort_keys=True, default=str),
+            "application/json; charset=utf-8",
+        )
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route http.server's stderr chatter through structured logging.
+        _log.debug("http request", detail=format % args,
+                   client=self.client_address[0])
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: object) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class ObservabilityServer:
+    """Serves ``/metrics``, ``/healthz``, and ``/status`` for a service.
+
+    Args:
+        service: Anything exposing ``render_metrics() -> str``,
+            ``healthz() -> dict`` (with a ``"status"`` key), and
+            ``status_snapshot() -> dict`` — the streaming service's
+            observability contract.
+        host: Bind address (default loopback; bind ``0.0.0.0``
+            explicitly to expose beyond the machine).
+        port: TCP port; ``0`` picks an ephemeral free port (read it
+            back from :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, service: object, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread (idempotent).
+
+        Raises:
+            OSError: When the requested port cannot be bound.
+        """
+        if self._server is not None:
+            return self
+        self._server = _Server((self.host, self._requested_port), self.service)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-obs-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("observability server started", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut down and release the port (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        _log.info("observability server stopped", url=self.url)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -20,12 +20,15 @@ from repro.config import DetectionConfig
 from repro.core.detector import FBDetect
 from repro.core.pipeline import PipelineResult
 from repro.fleet.changes import ChangeLog
+from repro.obs.logging import correlation_id, get_logger, log_context
 from repro.profiling.stacktrace import StackTrace
 from repro.reporting.report import build_report
 from repro.runtime.sinks import IncidentSink
 from repro.tsdb.database import TimeSeriesDatabase
 
 __all__ = ["MonitorRegistration", "ScanOutcome", "DetectionScheduler"]
+
+_log = get_logger("repro.runtime.scheduler")
 
 
 @dataclass
@@ -171,6 +174,17 @@ class DetectionScheduler:
         for registration in self._monitors.values():
             registration.detector.pipeline.metrics = metrics
 
+    def wire_tracer(self, tracer: Optional[object]) -> None:
+        """Point every monitor pipeline's span recorder at ``tracer``.
+
+        Same lifecycle as :meth:`wire_metrics`: trace stores are
+        process-local observability state, so workers and restored
+        services re-wire a fresh store rather than inheriting one
+        through pickle.
+        """
+        for registration in self._monitors.values():
+            registration.detector.pipeline.tracer = tracer
+
     def invalidate_incremental(self) -> None:
         """Drop every monitor's derived incremental-scan cache."""
         for registration in self._monitors.values():
@@ -243,8 +257,27 @@ class DetectionScheduler:
         for outcome in outcomes:
             for regression in outcome.result.reported:
                 report = build_report(regression)
-                for sink in self.sinks:
-                    sink.deliver(report)
+                # The alert id is deterministic in (series, change time),
+                # so logs from serial, parallel, and restarted runs of
+                # the same incident all join on one key.
+                alert = correlation_id(
+                    regression.context.metric_id,
+                    regression.change_time,
+                    prefix="alert",
+                )
+                with log_context(
+                    series=regression.context.metric_id, alert=alert
+                ):
+                    for sink in self.sinks:
+                        sink.deliver(report)
+                    if self.sinks:
+                        _log.info(
+                            "incident delivered",
+                            monitor=outcome.monitor,
+                            detected_at=outcome.now,
+                            sinks=len(self.sinks),
+                            magnitude=regression.magnitude,
+                        )
         return outcomes
 
     # ------------------------------------------------------------------

@@ -17,6 +17,12 @@ Modules:
 - :mod:`repro.service.metrics` — counters, gauges, latency histograms.
 - :mod:`repro.service.parallel` — multi-process shard execution.
 - :mod:`repro.service.service` — the composed streaming service.
+
+Observability (structured logs, funnel spans, and the ``/metrics`` +
+``/healthz`` + ``/status`` HTTP surface) lives in :mod:`repro.obs`; the
+service exposes it through :meth:`StreamingDetectionService.healthz`,
+:meth:`~StreamingDetectionService.status_snapshot`, and
+:class:`repro.obs.ObservabilityServer`.
 """
 
 from repro.service.checkpoint import CheckpointError, CheckpointManager

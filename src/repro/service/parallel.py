@@ -33,9 +33,10 @@ from __future__ import annotations
 import pickle
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.spans import RunTrace, TraceStore
 from repro.runtime.scheduler import ScanOutcome
 from repro.service.metrics import MetricsRegistry
 
@@ -54,6 +55,10 @@ class ShardAdvanceResult:
         metrics: Snapshot of the worker-local metrics registry (scan
             latencies, pipeline counters, cache hits) for the parent to
             merge.
+        traces: Funnel run traces the worker's pipelines recorded (a
+            :class:`~repro.obs.spans.TraceStore` pickles to an empty
+            shell, so the runs travel explicitly here and the parent
+            folds them into its live store).
         elapsed: Wall-clock seconds the worker spent on this shard.
     """
 
@@ -62,6 +67,7 @@ class ShardAdvanceResult:
     outcomes: List[ScanOutcome]
     metrics: dict
     elapsed: float
+    traces: List[RunTrace] = field(default_factory=list)
 
 
 def _advance_shard(shard_id: int, blob: bytes, target: float) -> ShardAdvanceResult:
@@ -71,25 +77,30 @@ def _advance_shard(shard_id: int, blob: bytes, target: float) -> ShardAdvanceRes
     """
     state = pickle.loads(blob)
     registry = MetricsRegistry()
+    tracer = TraceStore()
     worker = state["worker"]
     scheduler = state["scheduler"]
     worker.metrics = registry
     scheduler.wire_metrics(registry)
+    scheduler.wire_tracer(tracer)
     started = time.perf_counter()
     worker.flush()
     outcomes = scheduler.advance_to(target)
     elapsed = time.perf_counter() - started
     state["scans"] = state.get("scans", 0) + len(outcomes)
-    # Detach the worker-local registry before the result pickles back:
-    # the parent owns the authoritative registry and merges the snapshot.
+    # Detach the worker-local registry and trace store before the result
+    # pickles back: the parent owns the authoritative ones and merges the
+    # snapshot / recorded runs explicitly.
     worker.metrics = None
     scheduler.wire_metrics(None)
+    scheduler.wire_tracer(None)
     return ShardAdvanceResult(
         shard_id=shard_id,
         state=state,
         outcomes=outcomes,
         metrics=registry.snapshot(),
         elapsed=elapsed,
+        traces=tracer.runs(),
     )
 
 

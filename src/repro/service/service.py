@@ -38,6 +38,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.config import DetectionConfig
 from repro.core.pipeline import FunnelCounters
 from repro.core.types import Regression
+from repro.obs.logging import correlation_id, get_logger, log_context
+from repro.obs.spans import FunnelTrace, TraceStore
 from repro.reporting.report import IncidentReport, build_report
 from repro.runtime.scheduler import DetectionScheduler, ScanOutcome
 from repro.runtime.sinks import IncidentSink
@@ -49,6 +51,8 @@ from repro.service.router import ConsistentHashRouter
 from repro.tsdb.database import TimeSeriesDatabase
 
 __all__ = ["ShardStats", "ServiceStats", "StreamingDetectionService"]
+
+_log = get_logger("repro.service")
 
 
 @dataclass(frozen=True)
@@ -169,6 +173,7 @@ class _Shard:
         state: dict,
         metrics: MetricsRegistry,
         drop_derived: bool = False,
+        tracer: Optional[TraceStore] = None,
     ) -> None:
         """Install (un)pickled shard state (checkpoint-restore path).
 
@@ -185,14 +190,17 @@ class _Shard:
                 anchors).  True on checkpoint *restore* — a trust
                 boundary where stale anchors must never suppress a
                 re-scan.
+            tracer: The process-local trace store to rewire (trace
+                buffers are dropped on pickle, like metrics).
         """
         self.database = state["database"]
         self.worker = state["worker"]
         self.scheduler = state["scheduler"]
         self.scans = state.get("scans", 0)
-        # Rewire the process-local metrics registry (dropped on pickle).
+        # Rewire process-local observability state (dropped on pickle).
         self.worker.metrics = metrics
         self.scheduler.wire_metrics(metrics)
+        self.scheduler.wire_tracer(tracer)
         if drop_derived:
             self.scheduler.invalidate_incremental()
 
@@ -217,7 +225,12 @@ class _Shard:
             self._advance_drained = self.worker.drain_pending()
             return blob
 
-    def complete_advance(self, state: dict, metrics: MetricsRegistry) -> None:
+    def complete_advance(
+        self,
+        state: dict,
+        metrics: MetricsRegistry,
+        tracer: Optional[TraceStore] = None,
+    ) -> None:
         """Install a worker process's advanced state into the live shard.
 
         The live :class:`~repro.service.ingest.ShardIngestWorker` object
@@ -228,6 +241,7 @@ class _Shard:
         self.database = state["database"]
         self.scheduler = state["scheduler"]
         self.scheduler.wire_metrics(metrics)
+        self.scheduler.wire_tracer(tracer)
         self.scans = state.get("scans", self.scans)
         self.worker.complete_advance(
             state["worker"], self.database, self._advance_baseline
@@ -265,6 +279,8 @@ class StreamingDetectionService:
             co-locate series whose cross-series dedup matters.
         realert_tolerance: Window (seconds of change time) within which
             a regression on the same metric counts as already reported.
+        trace_capacity: Ring-buffer size (pipeline runs) of the funnel
+            trace store behind ``/status`` and :meth:`funnel_trace`.
 
     Example::
 
@@ -290,6 +306,7 @@ class StreamingDetectionService:
         routing_key: Optional[Callable[[Sample], str]] = None,
         realert_tolerance: float = 3600.0,
         metrics: Optional[MetricsRegistry] = None,
+        trace_capacity: int = 256,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -302,6 +319,7 @@ class StreamingDetectionService:
         )
         self.sinks = list(sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.traces = TraceStore(capacity=trace_capacity)
         self.router = ConsistentHashRouter(range(n_shards), replicas=replicas)
         self.routing_key = routing_key or (lambda sample: sample.name)
         self.realert_tolerance = realert_tolerance
@@ -325,6 +343,7 @@ class StreamingDetectionService:
         self._monitor_specs: List[dict] = []
         self._flushers: List[threading.Thread] = []
         self._stop_flushers = threading.Event()
+        self._last_checkpoint_at: Optional[float] = None
         self.metrics.set_gauge("service.shards", n_shards)
         self.metrics.set_gauge("service.workers", workers)
 
@@ -350,9 +369,12 @@ class StreamingDetectionService:
         shard-local slice of the series space.  The service defaults the
         pipeline's incremental scan cache on (pass ``incremental=False``
         to opt a monitor out): re-scans over quiet series then cost O(n)
-        in new points instead of O(window).
+        in new points instead of O(window).  Pipelines record funnel
+        spans into the service's :attr:`traces` store (pass
+        ``tracer=None`` to opt a monitor out of tracing).
         """
         detector_kwargs.setdefault("incremental", True)
+        detector_kwargs.setdefault("tracer", self.traces)
         for shard in self._shards.values():
             shard.scheduler.register(
                 name,
@@ -462,9 +484,13 @@ class StreamingDetectionService:
         self.metrics.inc("service.parallel_advances")
         for result in results:
             shard = self._shards[result.shard_id]
-            shard.complete_advance(result.state, self.metrics)
+            shard.complete_advance(result.state, self.metrics, tracer=self.traces)
             self.metrics.observe("service.shard_advance_seconds", result.elapsed)
             self.metrics.merge(result.metrics)
+            # Worker-local trace stores ship their runs back explicitly;
+            # the ascending-shard-id loop keeps the merged order
+            # deterministic, matching the serial path.
+            self.traces.record_many(result.traces)
             self._deliver(shard, result.outcomes, delivered)
 
     def _deliver(
@@ -481,16 +507,38 @@ class StreamingDetectionService:
         for outcome in outcomes:
             self.funnel.merge(outcome.result.funnel)
             for regression in outcome.result.reported:
-                if not self._ledger_admit(regression):
-                    self._suppressed_realerts += 1
-                    self.metrics.inc("service.reports.suppressed")
-                    continue
-                report = build_report(regression)
-                for sink in self.sinks:
-                    sink.deliver(report)
-                delivered.append(report)
-                self._reported += 1
-                self.metrics.inc("service.reports.delivered")
+                metric = regression.context.metric_id
+                # Deterministic in (series, change time): the same
+                # incident carries the same alert id across serial and
+                # parallel execution and across restarts.
+                alert = correlation_id(
+                    metric, regression.change_time, prefix="alert"
+                )
+                with log_context(
+                    series=metric, alert=alert, shard=shard.shard_id
+                ):
+                    if not self._ledger_admit(regression):
+                        self._suppressed_realerts += 1
+                        self.metrics.inc("service.reports.suppressed")
+                        _log.info(
+                            "re-alert suppressed",
+                            monitor=outcome.monitor,
+                            change_time=regression.change_time,
+                        )
+                        continue
+                    report = build_report(regression)
+                    for sink in self.sinks:
+                        sink.deliver(report)
+                    delivered.append(report)
+                    self._reported += 1
+                    self.metrics.inc("service.reports.delivered")
+                    _log.info(
+                        "incident delivered",
+                        monitor=outcome.monitor,
+                        detected_at=outcome.now,
+                        magnitude=regression.magnitude,
+                        sinks=len(self.sinks),
+                    )
         self.metrics.set_gauge(
             f"service.shard{shard.shard_id}.series", len(shard.database)
         )
@@ -596,6 +644,101 @@ class StreamingDetectionService:
         """Text exposition of the self-metrics registry."""
         return self.metrics.render_text()
 
+    def funnel_trace(self) -> FunnelTrace:
+        """The live Table 3 view over the retained funnel run traces."""
+        return FunnelTrace.from_store(self.traces)
+
+    def healthz(self) -> dict:
+        """Liveness/readiness snapshot (the ``/healthz`` payload).
+
+        A shard is *saturated* when its queue has reached the
+        backpressure threshold (pending >= capacity): offers are now
+        blocking, rejecting, or evicting depending on policy.  Any
+        saturated shard degrades the whole service — the endpoint then
+        answers 503 so probes and load balancers shed traffic before
+        samples are lost.
+
+        ``checkpoint.age_seconds`` is the wall-clock time since the last
+        :meth:`checkpoint` (or restore) in this process, ``None`` when
+        no checkpoint was ever taken — how much progress a crash right
+        now would replay.
+        """
+        shards = []
+        saturated_shards = 0
+        for shard in self._shards.values():
+            worker = shard.worker
+            pending = worker.pending
+            saturated = pending >= worker.capacity
+            saturated_shards += bool(saturated)
+            shards.append(
+                {
+                    "shard": shard.shard_id,
+                    "pending": pending,
+                    "capacity": worker.capacity,
+                    "policy": worker.policy.value,
+                    "saturated": saturated,
+                    "scans": shard.scans,
+                }
+            )
+        checkpoint_age = (
+            time.time() - self._last_checkpoint_at
+            if self._last_checkpoint_at is not None
+            else None
+        )
+        status = "ok" if saturated_shards == 0 else "degraded"
+        return {
+            "status": status,
+            "clock": self._clock,
+            "shards": shards,
+            "saturated_shards": saturated_shards,
+            "flushers_alive": sum(t.is_alive() for t in self._flushers),
+            "workers": self.workers,
+            "checkpoint": {
+                "last_at": self._last_checkpoint_at,
+                "age_seconds": checkpoint_age,
+            },
+        }
+
+    def status_snapshot(self) -> dict:
+        """Operator funnel snapshot (the ``/status`` payload).
+
+        ``funnel`` is the cumulative :class:`FunnelCounters` view (every
+        scan since the service — or its checkpoint lineage — started);
+        ``funnel_trace`` is the windowed live view over the trace ring
+        buffer, with per-stage drop reasons and timings.  All values are
+        JSON-serializable.
+        """
+        stats = self.stats()
+        detected = self.funnel.counts.get("change_points", 0)
+        reduction = {
+            stage: (detected / alive) if alive else None
+            for stage, alive in self.funnel.counts.items()
+        }
+        return {
+            "clock": self._clock,
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+            "monitors": self.monitors(),
+            "scans": stats.scans,
+            "reported": self._reported,
+            "suppressed_realerts": self._suppressed_realerts,
+            "ingest": {
+                "offered": stats.offered,
+                "accepted": stats.accepted,
+                "flushed": stats.flushed,
+                "dropped": stats.dropped,
+                "rejected": stats.rejected,
+            },
+            "funnel": dict(self.funnel.counts),
+            "funnel_reduction": reduction,
+            "funnel_trace": self.funnel_trace().to_dict(),
+            "traces": {
+                "retained": len(self.traces),
+                "recorded": self.traces.recorded,
+                "capacity": self.traces.capacity,
+            },
+        }
+
     def shard_database(self, shard_id: int) -> TimeSeriesDatabase:
         """Direct access to one shard's TSDB (tests, demos)."""
         return self._shards[shard_id].database
@@ -624,9 +767,18 @@ class StreamingDetectionService:
             "metrics": self.metrics.snapshot(),
         }
         manager = CheckpointManager(directory)
-        return manager.save(
+        path = manager.save(
             meta, {shard.shard_id: shard.state() for shard in self._shards.values()}
         )
+        self._last_checkpoint_at = time.time()
+        _log.info(
+            "checkpoint written",
+            path=path,
+            clock=self._clock,
+            shards=self.n_shards,
+            reported=self._reported,
+        )
+        return path
 
     @classmethod
     def restore(
@@ -658,7 +810,7 @@ class StreamingDetectionService:
         )
         for shard_key, state in shard_states.items():
             service._shards[int(shard_key)].load_state(
-                state, service.metrics, drop_derived=True
+                state, service.metrics, drop_derived=True, tracer=service.traces
             )
         service._clock = meta.get("clock", 0.0)
         service._reported = meta.get("reported", 0)
@@ -673,4 +825,14 @@ class StreamingDetectionService:
         service.metrics.restore(meta.get("metrics", {}))
         service.metrics.set_gauge("service.shards", service.n_shards)
         service.metrics.inc("service.restores")
+        # The restored in-memory state is exactly as fresh as the load;
+        # the trace ring buffer starts empty (process-local state).
+        service._last_checkpoint_at = time.time()
+        _log.info(
+            "service restored",
+            directory=directory,
+            clock=service._clock,
+            shards=service.n_shards,
+            reported=service._reported,
+        )
         return service

@@ -1,0 +1,155 @@
+"""Documentation suite checks: the docs exist, link, and cannot rot.
+
+The ``docs`` CI job additionally *executes* the RUNBOOK quickstart
+(``scripts/run_runbook_quickstart.py``); here we keep the cheap
+invariants in the tier-1 suite so a broken link or an undocumented
+benchmark fails ``pytest`` locally, not just in CI.
+"""
+
+import importlib.util
+import os
+import re
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = os.path.join(REPO_ROOT, "docs")
+SCRIPTS = os.path.join(REPO_ROOT, "scripts")
+
+
+def _load_script(name):
+    path = os.path.join(SCRIPTS, name + ".py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def link_checker():
+    return _load_script("check_markdown_links")
+
+
+@pytest.fixture(scope="module")
+def quickstart_runner():
+    return _load_script("run_runbook_quickstart")
+
+
+def _read(*parts):
+    with open(os.path.join(REPO_ROOT, *parts), encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestDocsExistAndAreLinked:
+    def test_runbook_and_benchmarks_exist(self):
+        assert os.path.isfile(os.path.join(DOCS, "RUNBOOK.md"))
+        assert os.path.isfile(os.path.join(DOCS, "BENCHMARKS.md"))
+
+    def test_readme_links_to_both(self):
+        readme = _read("README.md")
+        assert "docs/RUNBOOK.md" in readme
+        assert "docs/BENCHMARKS.md" in readme
+
+    def test_runbook_covers_operator_topics(self):
+        runbook = _read("docs", "RUNBOOK.md")
+        for topic in (
+            "/healthz",
+            "/metrics",
+            "/status",
+            "serve-demo",
+            "checkpoint",
+            "re-alert",
+            "backpressure",
+        ):
+            assert topic in runbook, topic
+
+    def test_runbook_names_every_funnel_stage(self):
+        from repro.obs.spans import STAGES
+
+        runbook = _read("docs", "RUNBOOK.md")
+        for stage in STAGES:
+            assert stage in runbook, stage
+
+
+class TestBenchmarksDocComplete:
+    def test_every_benchmark_file_is_documented(self):
+        doc = _read("docs", "BENCHMARKS.md")
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        benches = sorted(
+            name
+            for name in os.listdir(bench_dir)
+            if name.startswith("bench_") and name.endswith(".py")
+        )
+        assert benches, "benchmarks/ went missing?"
+        missing = [name for name in benches if f"`{name}`" not in doc]
+        assert not missing, f"undocumented benchmarks: {missing}"
+
+    def test_ci_gate_is_documented(self):
+        doc = _read("docs", "BENCHMARKS.md")
+        assert "check_bench_regression.py" in doc
+        assert "ci_baseline.json" in doc
+
+
+class TestMarkdownLinks:
+    def test_default_doc_set_has_no_broken_links(self, link_checker, capsys):
+        exit_code = link_checker.main([])
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.err
+        assert "0 broken" in captured.out
+
+    def test_checker_catches_a_broken_link(self, link_checker, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("[dangling](no/such/file.md)\n", encoding="utf-8")
+        problem = link_checker._check_link(str(bad), "no/such/file.md")
+        assert problem is not None and "broken" in problem
+
+    def test_checker_validates_anchors(self, link_checker, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# A Heading Here\n\ntext\n", encoding="utf-8")
+        assert link_checker._check_link(str(doc), "#a-heading-here") is None
+        assert link_checker._check_link(str(doc), "#nope") is not None
+
+
+class TestRunbookQuickstart:
+    def test_block_extracts_and_exercises_the_service(self, quickstart_runner):
+        script = quickstart_runner.extract_quickstart()
+        assert "serve-demo" in script
+        assert "--obs-port" in script
+        assert "--checkpoint-dir" in script
+        # Every non-comment line is a command (or its continuation) —
+        # an empty extraction must never pass vacuously.
+        commands = [
+            line
+            for line in script.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        assert commands
+
+    def test_missing_marker_raises(self, quickstart_runner, tmp_path):
+        plain = tmp_path / "RUNBOOK.md"
+        plain.write_text("# no marker\n```bash\necho hi\n```\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            quickstart_runner.extract_quickstart(str(plain))
+
+
+class TestDesignAndExperimentsCurrent:
+    """The PR 2/3 features must be described where operators will look."""
+
+    def test_design_documents_obs_layer(self):
+        design = _read("DESIGN.md")
+        assert "repro.obs" in design
+        assert "wire_tracer" in design
+        assert "ObservabilityServer" in design
+
+    def test_experiments_documents_service_benchmarks(self):
+        experiments = _read("EXPERIMENTS.md")
+        assert "bench_service_throughput.py" in experiments
+        assert "--workers" in experiments
+        assert re.search(r"observability overhead", experiments, re.I)
+
+    def test_ci_has_docs_job(self):
+        ci = _read(".github", "workflows", "ci.yml")
+        assert "check_markdown_links.py" in ci
+        assert "run_runbook_quickstart.py" in ci

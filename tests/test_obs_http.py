@@ -1,0 +1,234 @@
+"""Tests for repro.obs.http (the /metrics, /healthz, /status endpoints)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.obs import STAGES, ObservabilityServer
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+from repro.runtime import CollectingSink
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import WindowSpec
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+
+
+def _config():
+    return DetectionConfig(
+        name="test",
+        threshold=0.00005,
+        rerun_interval=6_000.0,
+        windows=WindowSpec(historic=36_000.0, analysis=12_000.0, extended=6_000.0),
+        long_term=False,
+    )
+
+
+def _make_samples(seed=3, regress_index=3, n_series=8):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for index in range(n_series):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == regress_index:
+            values[700:] += 0.0003
+        samples.extend(
+            Sample(
+                f"svc.sub{index}.gcpu",
+                tick * INTERVAL,
+                float(values[tick]),
+                {"metric": "gcpu"},
+            )
+            for tick in range(N_TICKS)
+        )
+    return samples
+
+
+def _service(**kwargs):
+    kwargs.setdefault("n_shards", 2)
+    kwargs.setdefault("queue_capacity", 2**16)
+    kwargs.setdefault("backpressure", BackpressurePolicy.BLOCK)
+    sink = CollectingSink()
+    service = StreamingDetectionService(sinks=[sink], **kwargs)
+    service.register_monitor("gcpu", _config(), series_filter={"metric": "gcpu"})
+    return service, sink
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+@pytest.fixture(scope="module")
+def advanced_service():
+    service, sink = _service()
+    service.ingest_many(_make_samples())
+    reports = service.advance_to(N_TICKS * INTERVAL)
+    with ObservabilityServer(service) as server:
+        yield service, sink, server, reports
+    service.close()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_exposition(self, advanced_service):
+        _service_, _sink, server, _reports = advanced_service
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        # Golden structural lines: counters, gauges, and the PR 2
+        # advance-latency histogram plus incremental-cache counters.
+        assert "# TYPE scheduler_scans counter" in body
+        assert "# TYPE service_shards gauge" in body
+        assert "# TYPE service_shard_advance_seconds histogram" in body
+        assert 'service_shard_advance_seconds_bucket{le="+Inf"}' in body
+        assert "service_shard_advance_seconds_count" in body
+        assert "pipeline_incremental_hits" in body
+        assert "pipeline_incremental_misses" in body
+        assert "service_reports_delivered 1" in body
+
+    def test_matches_in_process_render(self, advanced_service):
+        service, _sink, server, _reports = advanced_service
+        _status, _headers, body = _get(server.url + "/metrics")
+        assert body == service.render_metrics()
+
+
+class TestHealthzEndpoint:
+    def test_healthy_service_answers_200(self, advanced_service):
+        service, _sink, server, _reports = advanced_service
+        status, _headers, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["saturated_shards"] == 0
+        assert payload["clock"] == N_TICKS * INTERVAL
+        assert len(payload["shards"]) == service.n_shards
+        for shard in payload["shards"]:
+            assert shard["pending"] < shard["capacity"]
+            assert not shard["saturated"]
+
+    def test_checkpoint_age_reported_after_checkpoint(self, tmp_path):
+        service, _sink = _service(n_shards=1)
+        try:
+            assert service.healthz()["checkpoint"]["age_seconds"] is None
+            service.checkpoint(str(tmp_path / "ckpt"))
+            age = service.healthz()["checkpoint"]["age_seconds"]
+            assert age is not None and 0.0 <= age < 60.0
+        finally:
+            service.close()
+
+    def test_saturated_queue_degrades_to_503(self):
+        service, _sink = _service(
+            n_shards=1,
+            queue_capacity=8,
+            backpressure=BackpressurePolicy.REJECT,
+        )
+        try:
+            # Overfill the only shard's queue without flushing: offers
+            # beyond capacity are rejected, pending == capacity.
+            for tick in range(20):
+                service.ingest("svc.sub0.gcpu", float(tick), 1.0, {"metric": "gcpu"})
+            health = service.healthz()
+            assert health["status"] == "degraded"
+            assert health["saturated_shards"] == 1
+            assert health["shards"][0]["pending"] == 8
+            with ObservabilityServer(service) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(server.url + "/healthz")
+                assert excinfo.value.code == 503
+                payload = json.loads(excinfo.value.read())
+                assert payload["status"] == "degraded"
+                # Draining the queue restores health on the same server.
+                service.flush()
+                status, _headers, body = _get(server.url + "/healthz")
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+        finally:
+            service.close()
+
+
+class TestStatusEndpoint:
+    def test_funnel_matches_service_state(self, advanced_service):
+        service, _sink, server, reports = advanced_service
+        status, headers, body = _get(server.url + "/status")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["funnel"] == dict(service.funnel.counts)
+        assert payload["reported"] == len(reports) == 1
+        assert payload["scans"] == service.stats().scans
+        assert payload["monitors"] == ["gcpu"]
+
+    def test_funnel_trace_telescopes_and_matches_funnel(self, advanced_service):
+        service, _sink, _server, _reports = advanced_service
+        payload = service.status_snapshot()
+        trace = payload["funnel_trace"]
+        assert trace["telescopes"]
+        stages = {row["stage"]: row for row in trace["stages"]}
+        assert list(stages) == list(STAGES)
+        # Windowed trace covers every scan (capacity not exceeded), so
+        # its per-stage survivors equal the cumulative funnel exactly.
+        for stage in STAGES:
+            assert stages[stage]["outputs"] == payload["funnel"][stage]
+        # Telescoping view: stage N+1 consumed exactly stage N's output.
+        ordered = [stages[stage] for stage in STAGES]
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later["inputs"] == earlier["outputs"]
+
+    def test_index_and_unknown_paths(self, advanced_service):
+        _service_, _sink, server, _reports = advanced_service
+        status, _headers, body = _get(server.url + "/")
+        assert status == 200
+        assert set(json.loads(body)["endpoints"]) == {
+            "/metrics",
+            "/healthz",
+            "/status",
+        }
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestServerLifecycle:
+    def test_start_stop_idempotent_and_ephemeral_port(self):
+        service, _sink = _service(n_shards=1)
+        try:
+            server = ObservabilityServer(service, port=0)
+            server.start()
+            server.start()  # idempotent
+            assert server.running
+            assert server.port > 0
+            assert str(server.port) in server.url
+            server.stop()
+            server.stop()  # idempotent
+            assert not server.running
+        finally:
+            service.close()
+
+
+class TestEndToEndAcceptance:
+    """ISSUE 3 acceptance: a deterministic scenario where /status funnel
+    telescopes and matches the final detection funnel exactly, over HTTP,
+    in both serial and parallel execution."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_status_funnel_equals_detection_report(self, workers):
+        service, sink = _service(n_shards=2, workers=workers)
+        try:
+            service.ingest_many(_make_samples())
+            reports = service.advance_to(N_TICKS * INTERVAL)
+            assert [r.metric_id for r in reports] == ["svc.sub3.gcpu"]
+            with ObservabilityServer(service) as server:
+                payload = json.loads(_get(server.url + "/status")[2])
+            assert payload["funnel"] == dict(service.funnel.counts)
+            assert payload["funnel_trace"]["telescopes"]
+            stages = {
+                row["stage"]: row for row in payload["funnel_trace"]["stages"]
+            }
+            for stage in STAGES:
+                assert stages[stage]["outputs"] == service.funnel.counts[stage]
+            assert payload["reported"] == len(sink.reports) == 1
+        finally:
+            service.close()

@@ -1,0 +1,138 @@
+"""Tests for repro.obs.logging (structured JSON logs + correlation ids)."""
+
+import io
+import json
+import logging
+import threading
+
+from repro.obs.logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    correlation_id,
+    current_context,
+    get_logger,
+    log_context,
+)
+
+
+def teardown_function(_function):
+    # Tests install handlers on the shared "repro" logger; leave it clean.
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if isinstance(handler.formatter, JsonLogFormatter):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestCorrelationId:
+    def test_deterministic_across_calls(self):
+        first = correlation_id("web.render.gcpu", 86400.0, prefix="alert")
+        second = correlation_id("web.render.gcpu", 86400.0, prefix="alert")
+        assert first == second
+        assert first.startswith("alert-")
+        assert len(first) == len("alert-") + 12  # blake2b digest_size=6
+
+    def test_distinct_inputs_distinct_ids(self):
+        assert correlation_id("a", 1.0) != correlation_id("a", 2.0)
+        assert correlation_id("a", 1.0) != correlation_id("b", 1.0)
+
+    def test_docstring_example_value(self):
+        # Pinned so serial/parallel/restart runs keep joining on one key.
+        assert (
+            correlation_id("web.render.gcpu", 86400.0, prefix="alert")
+            == "alert-c5d9d33f5808"
+        )
+
+
+class TestLogContext:
+    def test_binds_and_unbinds(self):
+        assert current_context() == {}
+        with log_context(series="s1", alert="a1"):
+            assert current_context() == {"series": "s1", "alert": "a1"}
+        assert current_context() == {}
+
+    def test_nested_scopes_shadow_and_restore(self):
+        with log_context(series="outer", shard=1):
+            with log_context(series="inner"):
+                assert current_context() == {"series": "inner", "shard": 1}
+            assert current_context() == {"series": "outer", "shard": 1}
+
+    def test_threads_do_not_share_context(self):
+        seen = {}
+
+        def worker(name):
+            with log_context(series=name):
+                seen[name] = current_context()["series"]
+
+        with log_context(series="main"):
+            threads = [
+                threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert current_context()["series"] == "main"
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+
+
+class TestJsonOutput:
+    def test_one_json_object_per_line_with_context_and_fields(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, level=logging.DEBUG)
+        log = get_logger("repro.test.json")
+        with log_context(series="svc.sub0.gcpu", alert="alert-abc"):
+            log.info("incident delivered", shard=3, magnitude=0.0021)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["event"] == "incident delivered"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test.json"
+        assert payload["series"] == "svc.sub0.gcpu"
+        assert payload["alert"] == "alert-abc"
+        assert payload["shard"] == 3
+        assert payload["magnitude"] == 0.0021
+        assert isinstance(payload["ts"], float)
+
+    def test_non_serializable_fields_fall_back_to_str(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, level=logging.DEBUG)
+        get_logger("repro.test.fallback").info("event", obj=object())
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["obj"].startswith("<object object")
+
+    def test_exception_logging_includes_traceback(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, level=logging.DEBUG)
+        log = get_logger("repro.test.exc")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("scan failed", shard=1)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["event"] == "scan failed"
+        assert "ValueError: boom" in payload["exception"]
+
+    def test_configure_is_idempotent_per_stream(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream)
+        configure_json_logging(stream=stream)
+        get_logger("repro.test.idem").info("once")
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == 1
+
+    def test_disabled_level_emits_nothing(self):
+        stream = io.StringIO()
+        configure_json_logging(stream=stream, level=logging.WARNING)
+        log = get_logger("repro.test.level")
+        log.debug("quiet", detail=1)
+        log.info("also quiet")
+        assert stream.getvalue() == ""
+        assert not log.isEnabledFor(logging.DEBUG)
+        assert log.isEnabledFor(logging.ERROR)
+
+
+class TestGetLogger:
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger("service").logger.name == "repro.service"
+        assert get_logger("repro.core.pipeline").logger.name == "repro.core.pipeline"
+        assert get_logger("repro").logger.name == "repro"
