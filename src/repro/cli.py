@@ -129,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit structured JSON logs (one object per line) on stderr",
     )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON_PATH_OR_SEED",
+        help="run the demo under fault injection: a path to a fault-plan "
+        "JSON file, or 'chaos:<seed>' for a generated chaos schedule",
+    )
 
     sub.add_parser("presets", help="list Table 1 workload presets")
     return parser
@@ -270,6 +277,28 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 
         configure_json_logging()
 
+    injector = None
+    if args.fault_plan:
+        from repro.faults import FaultInjector, FaultPlan
+
+        if args.fault_plan.startswith("chaos:"):
+            try:
+                chaos_seed = int(args.fault_plan.split(":", 1)[1])
+            except ValueError:
+                print("error: --fault-plan chaos:<seed> needs an integer seed",
+                      file=sys.stderr)
+                return 2
+            plan = FaultPlan.chaos(chaos_seed, n_shards=args.shards)
+        else:
+            try:
+                plan = FaultPlan.from_json_file(args.fault_plan)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        injector = FaultInjector(plan)
+        print(f"fault injection armed: seed={plan.seed}, "
+              f"{len(plan.specs)} spec(s)")
+
     sink = CollectingSink()
     service = StreamingDetectionService(
         n_shards=args.shards,
@@ -278,6 +307,8 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         queue_capacity=args.capacity,
         backpressure=BackpressurePolicy(args.policy),
         batch_size=args.batch_size,
+        fault_injector=injector,
+        advance_deadline=5.0 if injector is not None else None,
     )
     service.register_monitor(
         args.preset, config, series_filter={"metric": "gcpu"}
@@ -289,7 +320,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 
         obs_server = ObservabilityServer(service, port=args.obs_port).start()
         print(f"observability endpoints at {obs_server.url} "
-              "(/metrics /healthz /status)")
+              "(/metrics /healthz /status /faults)")
 
     for _ in range(args.ticks):
         tick_time = simulator.time
@@ -331,6 +362,22 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     for report in sink.reports:
         print(f"  - {report.metric_id} (+{report.relative_magnitude:.1%} "
               f"at t={report.change_time:.0f})")
+    if injector is not None:
+        fired = injector.counts()
+        total = sum(fired.values())
+        print()
+        print(f"faults injected: {total}"
+              + (f" ({', '.join(f'{k}={v}' for k, v in sorted(fired.items()))})"
+                 if fired else ""))
+        retries = snapshot["counters"].get("advance.retries", 0.0)
+        fallbacks = snapshot["counters"].get("advance.fallbacks", 0.0)
+        ckpt_fallbacks = snapshot["counters"].get("checkpoint.fallbacks", 0.0)
+        print(f"recoveries: advance retries={retries:.0f}, "
+              f"in-process fallbacks={fallbacks:.0f}, "
+              f"checkpoint fallbacks={ckpt_fallbacks:.0f}")
+        degraded = service.degraded_reasons()
+        print("degraded shards at exit: "
+              + (str(degraded) if degraded else "none (recovered)"))
     if args.checkpoint_dir:
         path = service.checkpoint(args.checkpoint_dir)
         print(f"\ncheckpoint written to {path}")

@@ -16,6 +16,11 @@ duck-typed like one) on three endpoints:
   :class:`~repro.core.pipeline.FunnelCounters`, the live
   :class:`~repro.obs.spans.FunnelTrace` over retained run traces, and
   recent per-run spans.
+- ``GET /faults`` — the fault-injection view: the active
+  :class:`~repro.faults.FaultPlan` with per-spec seen/fired counters,
+  plus recent fault/degradation events.  During chaos drills this is
+  how an operator tells injected failures from real ones; without an
+  injector it reports ``{"enabled": false}``.
 
 ``GET /`` returns a small JSON index of the endpoints.  The server runs
 on a daemon thread (one handler thread per request), binds an ephemeral
@@ -48,7 +53,7 @@ _log = get_logger("repro.obs.http")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes the three observability endpoints.
+    """Routes the observability endpoints.
 
     The owning :class:`_Server` carries the service reference; handler
     instances are per-request and stateless.
@@ -69,16 +74,31 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(status, health)
             elif path == "/status":
                 self._send_json(200, self.server.service.status_snapshot())
+            elif path == "/faults":
+                self._send_json(200, self._faults_payload())
             elif path == "/":
                 self._send_json(200, {
                     "service": "repro-fbdetect",
-                    "endpoints": ["/metrics", "/healthz", "/status"],
+                    "endpoints": ["/metrics", "/healthz", "/status", "/faults"],
                 })
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except Exception as error:  # pragma: no cover - defensive surface
             _log.exception("observability endpoint failed", path=path)
             self._send_json(500, {"error": str(error)})
+
+    def _faults_payload(self) -> dict:
+        service = self.server.service
+        snapshot = None
+        if hasattr(service, "faults_snapshot"):
+            snapshot = service.faults_snapshot()
+        payload: dict = {"enabled": snapshot is not None}
+        if snapshot is not None:
+            payload["plan"] = snapshot
+        events = getattr(service, "events", None)
+        if events is not None:
+            payload["events"] = [event.to_dict() for event in events.events()]
+        return payload
 
     def _send_text(self, status: int, body: str, content_type: str) -> None:
         payload = body.encode("utf-8")

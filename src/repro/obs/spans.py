@@ -28,7 +28,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["STAGES", "Span", "StageTally", "RunTrace", "TraceStore", "FunnelTrace"]
+__all__ = [
+    "STAGES",
+    "Span",
+    "StageTally",
+    "RunTrace",
+    "TraceStore",
+    "FunnelTrace",
+    "Event",
+    "EventLog",
+]
 
 #: Canonical Figure 6 funnel stage order, matching Table 3's rows.  The
 #: core pipeline re-exports this tuple; it lives here so observability
@@ -260,6 +269,86 @@ class TraceStore:
         self.capacity = state["capacity"]
         self._recorded = state.get("_recorded", 0)
         self._runs = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class Event:
+    """One operational event (fault injected, shard degraded, recovered).
+
+    Attributes:
+        kind: Event type (``fault_injected``, ``degraded``,
+            ``recovered``, ``checkpoint_fallback`` ...).
+        wall: Wall-clock time the event was recorded.
+        fields: Event-specific payload (shard id, reason, fault kind).
+    """
+
+    kind: str
+    wall: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "wall": self.wall, **self.fields}
+
+
+class EventLog:
+    """Thread-safe bounded ring buffer of :class:`Event`\\ s.
+
+    The failure-path counterpart of :class:`TraceStore`: where run
+    traces answer "what is the funnel doing", the event log answers
+    "what broke, and did it recover" — fault injections, per-shard
+    degradation transitions, checkpoint-generation fallbacks.  Exposed
+    through the service's ``/faults`` endpoint.  Like the trace store,
+    the buffer is process-local: pickling keeps the capacity but drops
+    the buffered events.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, wall: Optional[float] = None, **fields: object) -> Event:
+        """Append one event (evicting the oldest when full)."""
+        event = Event(
+            kind=kind, wall=wall if wall is not None else time.time(), fields=fields
+        )
+        with self._lock:
+            self._events.append(event)
+            self._recorded += 1
+        return event
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """Retained events oldest-first, optionally filtered by kind."""
+        with self._lock:
+            retained = list(self._events)
+        if kind is None:
+            return retained
+        return [event for event in retained if event.kind == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including evicted ones)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __getstate__(self) -> dict:
+        return {"capacity": self.capacity, "_recorded": self._recorded}
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self._recorded = state.get("_recorded", 0)
+        self._events = deque(maxlen=self.capacity)
         self._lock = threading.Lock()
 
 

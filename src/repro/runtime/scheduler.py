@@ -236,9 +236,24 @@ class DetectionScheduler:
     ) -> List[ScanOutcome]:
         outcomes: List[ScanOutcome] = []
 
-        def scan(monitor: MonitorRegistration) -> ScanOutcome:
+        def scan(monitor: MonitorRegistration) -> Optional[ScanOutcome]:
             started = time.perf_counter()
-            result = monitor.detector.run(self.database, now)
+            try:
+                result = monitor.detector.run(self.database, now)
+            except Exception as error:
+                # One monitor's scan blowing up must not abort the whole
+                # batch (every other due monitor would silently miss its
+                # tick).  The failed monitor keeps its state and is
+                # re-run at its next due time.
+                if self.metrics is not None:
+                    self.metrics.inc("scheduler.scan_failures")
+                _log.exception(
+                    "monitor scan failed",
+                    monitor=monitor.name,
+                    now=now,
+                    error=str(error),
+                )
+                return None
             if self.metrics is not None:
                 self.metrics.observe(
                     "scheduler.scan_seconds", time.perf_counter() - started
@@ -249,7 +264,8 @@ class DetectionScheduler:
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             for outcome in pool.map(scan, monitors):
-                outcomes.append(outcome)
+                if outcome is not None:
+                    outcomes.append(outcome)
 
         if self.keep_outcomes:
             with self._lock:

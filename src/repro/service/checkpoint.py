@@ -1,16 +1,34 @@
 """Durable checkpoint/restore for the streaming service.
 
-Layout of a checkpoint directory::
+Layout of a checkpoint directory (``keep_generations=3`` shown)::
 
-    manifest.json     # version, generation, service meta, shard index
-    shard-<id>.pkl    # pickled per-shard state (TSDB + scheduler + queue)
+    manifest.json          # pointer copy of the newest manifest
+    manifest.g7.json       # newest generation's manifest
+    manifest.g6.json       # previous generations, kept for fallback
+    manifest.g5.json
+    shard-0.g7.pkl         # per-generation shard blobs (TSDB + scheduler
+    shard-0.g6.pkl         # + queue), named after their generation so
+    ...                    # generations never overwrite each other
 
-The manifest is JSON so operators can inspect a checkpoint without
-unpickling anything; each shard blob carries a SHA-256 recorded in the
+Manifests are JSON so operators can inspect a checkpoint without
+unpickling anything; each shard blob carries a SHA-256 recorded in its
 manifest so truncated or corrupted blobs are detected at load time.
-Writes are atomic per file (temp file + ``os.replace``) and the manifest
-is written *last*, so a crash mid-checkpoint leaves the previous
-checkpoint loadable.
+
+Durability is layered:
+
+- every file is written atomically (temp file + ``os.replace``) with an
+  ``fsync`` of the file *and* of the directory, so a crash or power
+  loss cannot leave a half-written blob under a final name;
+- the generation's own manifest is written after all its blobs, and the
+  ``manifest.json`` pointer is written last of all, so a crash
+  mid-checkpoint leaves the previous generation fully loadable;
+- :meth:`CheckpointManager.load` verifies every checksum and, when the
+  newest generation fails (corrupt blob, truncated file, damaged
+  manifest), falls back to the next-newest intact generation instead of
+  refusing to start — the degradation is reported via
+  :meth:`CheckpointManager.last_load`;
+- old generations beyond ``keep_generations`` are pruned after a
+  successful save, along with any blob no retained manifest references.
 """
 
 from __future__ import annotations
@@ -19,12 +37,15 @@ import hashlib
 import json
 import os
 import pickle
-from typing import Dict, Tuple
+import re
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["CheckpointError", "CheckpointManager", "CHECKPOINT_VERSION"]
 
 CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
+
+_GEN_MANIFEST_RE = re.compile(r"^manifest\.g(\d+)\.json$")
 
 
 class CheckpointError(RuntimeError):
@@ -32,10 +53,19 @@ class CheckpointError(RuntimeError):
 
 
 class CheckpointManager:
-    """Saves and loads one checkpoint per directory.
+    """Saves and loads generational checkpoints in one directory.
 
     Args:
         directory: Checkpoint directory (created on first save).
+        keep_generations: How many complete generations to retain.  More
+            than one is what makes corruption survivable: when the
+            newest generation fails its checksums, :meth:`load` falls
+            back to the next intact one.
+        fault_injector: Optional :class:`~repro.faults.FaultInjector`
+            consulted at the ``checkpoint.blob`` / ``checkpoint.manifest``
+            sites; when a spec fires, the *mutated* bytes are written
+            while the manifest records the pristine SHA-256 — latent
+            damage, detected at load time like real disk corruption.
 
     Example::
 
@@ -44,8 +74,20 @@ class CheckpointManager:
         meta, shards = manager.load()
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self,
+        directory: str,
+        keep_generations: int = 3,
+        fault_injector: Optional[Any] = None,
+    ) -> None:
+        if keep_generations < 1:
+            raise ValueError("keep_generations must be >= 1")
         self.directory = str(directory)
+        self.keep_generations = keep_generations
+        self.fault_injector = fault_injector
+        # Filled by load(): which generation satisfied it and how many
+        # newer generations had to be skipped as corrupt.
+        self._last_load: Optional[Dict[str, object]] = None
 
     @property
     def manifest_path(self) -> str:
@@ -53,10 +95,20 @@ class CheckpointManager:
 
     def exists(self) -> bool:
         """Whether a loadable manifest is present."""
-        return os.path.isfile(self.manifest_path)
+        return os.path.isfile(self.manifest_path) or bool(self._generations())
+
+    def last_load(self) -> Optional[Dict[str, object]]:
+        """Info about the most recent :meth:`load` on this manager.
+
+        Returns ``None`` before any load, else a dict with ``generation``
+        (the one that satisfied the load), ``fallbacks`` (how many newer
+        generations were skipped as corrupt), and ``skipped`` (their
+        error strings, newest first).
+        """
+        return self._last_load
 
     def save(self, meta: dict, shards: Dict[object, object]) -> str:
-        """Write a checkpoint; returns the manifest path.
+        """Write one new checkpoint generation; returns the manifest path.
 
         Args:
             meta: JSON-serializable service-level state (clock, ledger,
@@ -64,17 +116,19 @@ class CheckpointManager:
             shards: Picklable per-shard state, keyed by shard id.
         """
         os.makedirs(self.directory, exist_ok=True)
-        generation = 0
-        if self.exists():
-            try:
-                generation = self._read_manifest().get("generation", 0)
-            except CheckpointError:
-                pass  # overwrite a corrupt checkpoint
+        generation = (self._generations() or [0])[-1] + 1
         shard_index = {}
         for shard_id, state in shards.items():
             blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-            filename = f"shard-{shard_id}.pkl"
-            self._atomic_write(filename, blob)
+            filename = f"shard-{shard_id}.g{generation}.pkl"
+            payload = blob
+            if self.fault_injector is not None:
+                mutated = self.fault_injector.corrupt_payload("checkpoint.blob", blob)
+                if mutated is not None:
+                    payload = mutated
+            self._atomic_write(filename, payload)
+            # The SHA is always of the *pristine* blob: injected
+            # corruption stays latent until load, like the real thing.
             shard_index[str(shard_id)] = {
                 "file": filename,
                 "sha256": hashlib.sha256(blob).hexdigest(),
@@ -82,26 +136,74 @@ class CheckpointManager:
             }
         manifest = {
             "version": CHECKPOINT_VERSION,
-            "generation": generation + 1,
+            "generation": generation,
             "meta": meta,
             "shards": shard_index,
         }
-        self._atomic_write(
-            MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True).encode()
-        )
+        encoded = json.dumps(manifest, indent=2, sort_keys=True).encode()
+        manifest_payload = encoded
+        if self.fault_injector is not None:
+            mutated = self.fault_injector.corrupt_payload("checkpoint.manifest", encoded)
+            if mutated is not None:
+                manifest_payload = mutated
+        self._atomic_write(f"manifest.g{generation}.json", manifest_payload)
+        # The pointer is written last: until it lands, loaders see the
+        # previous generation.  It gets the same (possibly corrupted)
+        # bytes — load() falls back to per-generation manifests when the
+        # pointer is damaged.
+        self._atomic_write(MANIFEST_NAME, manifest_payload)
+        self._prune(keep_from=generation)
         return self.manifest_path
 
     def load(self) -> Tuple[dict, Dict[str, object]]:
-        """Load the checkpoint; returns ``(meta, {shard_id: state})``.
+        """Load the newest intact generation; ``(meta, {shard_id: state})``.
 
         Shard ids come back as strings (JSON keys); callers that used
         int ids convert back.
 
+        Generations are tried newest-first; one that fails (unreadable
+        manifest, checksum mismatch, missing blob) is skipped and the
+        next is tried.  :meth:`last_load` reports which generation won
+        and what was skipped.
+
         Raises:
-            CheckpointError: On a missing manifest, version mismatch, or
-                checksum failure.
+            CheckpointError: When no manifest exists at all, the newest
+                manifest has an unsupported version, or every generation
+                is corrupt.
         """
-        manifest = self._read_manifest()
+        generations = self._generations()
+        candidates: List[Tuple[Optional[int], str]] = [
+            (gen, os.path.join(self.directory, f"manifest.g{gen}.json"))
+            for gen in reversed(generations)
+        ]
+        if not candidates:
+            # Pre-generational layout (or an empty directory): the
+            # pointer manifest is the only candidate.
+            candidates = [(None, self.manifest_path)]
+        skipped: List[str] = []
+        for generation, path in candidates:
+            try:
+                meta, shards = self._load_manifest(path)
+            except CheckpointError as error:
+                if len(candidates) == 1:
+                    raise
+                skipped.append(str(error))
+                continue
+            self._last_load = {
+                "generation": generation,
+                "fallbacks": len(skipped),
+                "skipped": skipped,
+            }
+            return meta, shards
+        raise CheckpointError(
+            f"every checkpoint generation in {self.directory} is corrupt: "
+            + "; ".join(skipped)
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _load_manifest(self, path: str) -> Tuple[dict, Dict[str, object]]:
+        manifest = self._read_manifest(path)
         version = manifest.get("version")
         if version != CHECKPOINT_VERSION:
             raise CheckpointError(
@@ -109,12 +211,14 @@ class CheckpointManager:
             )
         shards: Dict[str, object] = {}
         for shard_id, entry in manifest.get("shards", {}).items():
-            path = os.path.join(self.directory, entry["file"])
+            blob_path = os.path.join(self.directory, entry["file"])
             try:
-                with open(path, "rb") as source:
+                with open(blob_path, "rb") as source:
                     blob = source.read()
             except OSError as error:
-                raise CheckpointError(f"cannot read shard blob {path}: {error}") from error
+                raise CheckpointError(
+                    f"cannot read shard blob {blob_path}: {error}"
+                ) from error
             digest = hashlib.sha256(blob).hexdigest()
             if digest != entry["sha256"]:
                 raise CheckpointError(
@@ -124,18 +228,63 @@ class CheckpointManager:
             shards[shard_id] = pickle.loads(blob)
         return manifest.get("meta", {}), shards
 
-    # -- internals -------------------------------------------------------
-
-    def _read_manifest(self) -> dict:
+    def _read_manifest(self, path: Optional[str] = None) -> dict:
+        path = path or self.manifest_path
         try:
-            with open(self.manifest_path, "r", encoding="utf-8") as source:
+            with open(path, "r", encoding="utf-8") as source:
                 return json.load(source)
         except FileNotFoundError as error:
-            raise CheckpointError(
-                f"no checkpoint manifest at {self.manifest_path}"
-            ) from error
+            raise CheckpointError(f"no checkpoint manifest at {path}") from error
         except (OSError, json.JSONDecodeError) as error:
             raise CheckpointError(f"unreadable manifest: {error}") from error
+
+    def _generations(self) -> List[int]:
+        """Sorted generation numbers with an on-disk manifest."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            match = _GEN_MANIFEST_RE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def _prune(self, keep_from: int) -> None:
+        """Drop generations older than the retained window, and orphans.
+
+        A blob is an orphan when no retained *readable* manifest
+        references it — which also sweeps blobs from a shard-count
+        shrink and files from the pre-generational layout.
+        """
+        retained = [
+            gen
+            for gen in self._generations()
+            if gen > keep_from - self.keep_generations
+        ]
+        referenced = {MANIFEST_NAME}
+        for gen in retained:
+            referenced.add(f"manifest.g{gen}.json")
+            try:
+                manifest = self._read_manifest(
+                    os.path.join(self.directory, f"manifest.g{gen}.json")
+                )
+            except CheckpointError:
+                continue  # keep the manifest itself; its blobs may be orphaned
+            for entry in manifest.get("shards", {}).values():
+                referenced.add(entry["file"])
+        for name in os.listdir(self.directory):
+            if name in referenced or name.endswith(".tmp"):
+                continue
+            if _GEN_MANIFEST_RE.match(name) or (
+                name.startswith("shard-") and name.endswith(".pkl")
+            ):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+        self._fsync_directory()
 
     def _atomic_write(self, filename: str, payload: bytes) -> None:
         path = os.path.join(self.directory, filename)
@@ -145,3 +294,19 @@ class CheckpointManager:
             sink.flush()
             os.fsync(sink.fileno())
         os.replace(temp, path)
+        # fsync the directory too: os.replace updates the directory
+        # entry, and without this a power loss can forget the rename
+        # even though the file's bytes are durable.
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir-fsync
+            pass
+        finally:
+            os.close(fd)

@@ -70,6 +70,9 @@ class ShardIngestWorker:
         policy: Backpressure policy (see module docstring).
         batch_size: Samples per TSDB write batch.
         metrics: Optional shared metrics registry.
+        fault_injector: Optional :class:`~repro.faults.FaultInjector`
+            consulted at the ``ingest.flush`` site before each batch
+            write (chaos drills; ``None`` in production).
 
     Thread-safe: producers may ``offer()`` concurrently with ``flush()``.
     """
@@ -82,6 +85,7 @@ class ShardIngestWorker:
         policy: BackpressurePolicy = BackpressurePolicy.DROP_OLDEST,
         batch_size: int = 256,
         metrics: Optional[Any] = None,
+        fault_injector: Optional[Any] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -93,6 +97,7 @@ class ShardIngestWorker:
         self.policy = BackpressurePolicy(policy)
         self.batch_size = batch_size
         self.metrics = metrics
+        self.fault_injector = fault_injector
         self._queue: Deque[Sample] = deque()
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -108,6 +113,7 @@ class ShardIngestWorker:
         self.rejected = 0
         self.blocking_flushes = 0
         self.flushes = 0
+        self.flush_failures = 0
 
     # -- producer side --------------------------------------------------
 
@@ -173,7 +179,13 @@ class ShardIngestWorker:
         return written
 
     def _flush_batch(self) -> int:
-        """Write up to one batch (caller holds the lock)."""
+        """Write up to one batch (caller holds the lock).
+
+        A failed write must not lose the batch: the popped samples are
+        put back at the *front* of the queue (they predate everything
+        still buffered) before the error propagates, so a retried flush
+        writes the same samples in the same order.
+        """
         if not self._queue:
             return 0
         batch = [
@@ -181,9 +193,17 @@ class ShardIngestWorker:
             for _ in range(min(self.batch_size, len(self._queue)))
         ]
         started = time.perf_counter()
-        written = self.database.write_batch(
-            (s.name, s.timestamp, s.value, s.tags) for s in batch
-        )
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.maybe_raise("ingest.flush", self._shard_index())
+            written = self.database.write_batch(
+                (s.name, s.timestamp, s.value, s.tags) for s in batch
+            )
+        except Exception:
+            self._queue.extendleft(reversed(batch))
+            self.flush_failures += 1
+            self._inc("ingest.flush_failures")
+            raise
         self.flushed += written
         self.flushes += 1
         if self.metrics is not None:
@@ -307,11 +327,15 @@ class ShardIngestWorker:
             "rejected": self.rejected,
             "blocking_flushes": self.blocking_flushes,
             "flushes": self.flushes,
+            "flush_failures": self.flush_failures,
         }
 
     def _inc(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.inc(name)
+
+    def _shard_index(self) -> Optional[int]:
+        return self.shard_id if isinstance(self.shard_id, int) else None
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
@@ -320,11 +344,17 @@ class ShardIngestWorker:
         # The advancing flag describes the *live* object: the pickled
         # copy is exactly what the worker process must flush.
         state["_advancing"] = False
-        # The shared registry is restored by the service, not the pickle.
+        # The shared registry and injector are restored by the service,
+        # not the pickle (the injector holds a lock and must stay
+        # parent-only anyway — workers never decide faults).
         state["metrics"] = None
+        state["fault_injector"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
+        # Defaults first: blobs pickled by older builds predate these.
+        self.flush_failures = 0
+        self.fault_injector = None
         self.__dict__.update(state)
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)

@@ -26,21 +26,41 @@ identical report sets for identical inputs.
 
 Shards never share mutable state (each owns its TSDB and detectors), so
 the only cross-shard coupling is that deterministic merge in the parent.
+
+Failure paths are first-class: a crashed worker (``BrokenProcessPool``)
+or a shard advance that blows its deadline no longer poisons the cached
+pool or fails the whole ``advance_to``.  The executor retries failed
+shards with exponential backoff on a freshly created pool, and — once
+retries are exhausted — advances the failed shard *in-process* from the
+same snapshot blob.  Because a shard advance is a pure function of
+``(blob, target)``, retried and fallback advances produce the same
+outcomes a healthy worker would, so the determinism contract survives
+every recovery path.  An optional
+:class:`~repro.faults.FaultInjector` hooks the submit path: the parent
+decides per-shard fault directives (crash / hang) that the worker
+executes, which is how the chaos suite drives these recovery paths
+deterministically.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.logging import get_logger
 from repro.obs.spans import RunTrace, TraceStore
 from repro.runtime.scheduler import ScanOutcome
 from repro.service.metrics import MetricsRegistry
 
 __all__ = ["ShardAdvanceResult", "ParallelShardExecutor"]
+
+_log = get_logger("repro.service.parallel")
 
 
 @dataclass
@@ -60,6 +80,11 @@ class ShardAdvanceResult:
             shell, so the runs travel explicitly here and the parent
             folds them into its live store).
         elapsed: Wall-clock seconds the worker spent on this shard.
+        retries: How many times this shard's advance was retried before
+            this result was produced (0 on the happy path).
+        fallback: ``"in_process"`` when the result came from the
+            parent-process fallback after retries were exhausted,
+            ``None`` when a pool worker produced it.
     """
 
     shard_id: int
@@ -68,13 +93,32 @@ class ShardAdvanceResult:
     metrics: dict
     elapsed: float
     traces: List[RunTrace] = field(default_factory=list)
+    retries: int = 0
+    fallback: Optional[str] = None
 
 
-def _advance_shard(shard_id: int, blob: bytes, target: float) -> ShardAdvanceResult:
+def _advance_shard(
+    shard_id: int,
+    blob: bytes,
+    target: float,
+    fault: Optional[Tuple[str, float]] = None,
+) -> ShardAdvanceResult:
     """Worker entry point: advance one pickled shard to ``target``.
 
     Module-level so every multiprocessing start method can import it.
+    ``fault`` is an injected directive decided by the parent's
+    :class:`~repro.faults.FaultInjector` — ``("crash", _)`` kills this
+    process hard (surfacing as ``BrokenProcessPool``), ``("hang", s)``
+    sleeps ``s`` seconds before working (tripping the caller's
+    per-shard deadline).  The in-process fallback always passes
+    ``None``, which is what guarantees chaos runs make progress.
     """
+    if fault is not None:
+        kind, value = fault
+        if kind == "crash":
+            os._exit(13)
+        elif kind == "hang":
+            time.sleep(value)
     state = pickle.loads(blob)
     registry = MetricsRegistry()
     tracer = TraceStore()
@@ -115,6 +159,19 @@ class ParallelShardExecutor:
         mp_context: Optional :mod:`multiprocessing` context (or start
             method name) — defaults to the platform default, which keeps
             the executor working under both fork and spawn.
+        retries: How many times a failed shard advance is retried on a
+            (possibly recreated) pool before falling back in-process.
+        backoff: Base delay of the exponential backoff between retry
+            rounds (``backoff * 2**round`` seconds).
+        deadline: Per-shard advance deadline in seconds; ``None``
+            disables the timeout.  A shard that blows the deadline is
+            treated as failed (the hung worker is abandoned with the
+            recycled pool) and retried.
+        injector: Optional :class:`~repro.faults.FaultInjector`; the
+            submit path asks it for per-shard crash/hang directives.
+        metrics: Optional registry-like object receiving the
+            ``advance.retries`` / ``advance.fallbacks`` /
+            ``advance.pool_recreations`` counters.
 
     Example::
 
@@ -123,10 +180,30 @@ class ParallelShardExecutor:
         executor.close()
     """
 
-    def __init__(self, workers: int, mp_context: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Optional[Any] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        deadline: Optional[float] = None,
+        injector: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
         self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.deadline = deadline
+        self.injector = injector
+        self.metrics = metrics
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -143,6 +220,22 @@ class ParallelShardExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.workers, **kwargs)
         return self._pool
 
+    def _recycle_pool(self) -> None:
+        """Throw the pool away (broken, or wedged on a hung worker).
+
+        ``wait=False`` abandons any still-running worker: its eventual
+        result is discarded, which is safe because workers only ever
+        mutate their own unpickled copies of shard state.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._inc("advance.pool_recreations")
+
+    def _inc(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
     def map_shards(
         self, blobs: Dict[int, bytes], target: float
     ) -> List[ShardAdvanceResult]:
@@ -151,14 +244,96 @@ class ParallelShardExecutor:
         The sort is the determinism contract: callers fold results in
         ascending shard-id order, matching the serial path's iteration
         order exactly.
+
+        Failure handling: shards whose worker crashed, raised, or blew
+        the deadline are retried (with exponential backoff, on a fresh
+        pool when the old one broke) up to ``retries`` times, then
+        advanced in-process from the same snapshot.  Every shard in
+        ``blobs`` is therefore represented in the returned list — a
+        genuine deterministic error (a bug, not a crash) still
+        propagates, from the in-process attempt.
         """
+        results: Dict[int, ShardAdvanceResult] = {}
+        retry_counts: Dict[int, int] = {shard_id: 0 for shard_id in blobs}
+        remaining: Dict[int, bytes] = dict(sorted(blobs.items()))
+        for attempt in range(self.retries + 1):
+            if not remaining:
+                break
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                self._inc("advance.retries", len(remaining))
+                for shard_id in remaining:
+                    retry_counts[shard_id] += 1
+            failed = self._attempt(remaining, target, results)
+            remaining = {shard_id: blobs[shard_id] for shard_id in sorted(failed)}
+        for shard_id, blob in remaining.items():
+            # Retries exhausted: advance in the parent from the same
+            # snapshot.  No fault directive is ever passed here, so a
+            # chaos plan cannot starve a shard forever.
+            _log.warning(
+                "shard advance falling back in-process",
+                shard=shard_id,
+                retries=retry_counts[shard_id],
+            )
+            result = _advance_shard(shard_id, blob, target)
+            result.fallback = "in_process"
+            self._inc("advance.fallbacks")
+            results[shard_id] = result
+        for shard_id, result in results.items():
+            result.retries = retry_counts.get(shard_id, 0)
+        return [results[shard_id] for shard_id in sorted(results)]
+
+    def _attempt(
+        self,
+        shards: Dict[int, bytes],
+        target: float,
+        results: Dict[int, ShardAdvanceResult],
+    ) -> List[int]:
+        """Run one submission round; returns the shard ids that failed."""
         pool = self._ensure_pool()
-        futures: Sequence[Future] = [
-            pool.submit(_advance_shard, shard_id, blob, target)
-            for shard_id, blob in sorted(blobs.items())
-        ]
-        results = [future.result() for future in futures]
-        return sorted(results, key=lambda result: result.shard_id)
+        futures: Dict[int, Future] = {}
+        failed: List[int] = []
+        broken = False
+        timed_out = False
+        for shard_id, blob in shards.items():
+            fault = (
+                self.injector.worker_directive(shard_id)
+                if self.injector is not None
+                else None
+            )
+            try:
+                futures[shard_id] = pool.submit(
+                    _advance_shard, shard_id, blob, target, fault
+                )
+            except BrokenProcessPool:
+                broken = True
+                failed.append(shard_id)
+        for shard_id, future in futures.items():
+            try:
+                results[shard_id] = future.result(timeout=self.deadline)
+            except BrokenProcessPool as error:
+                broken = True
+                failed.append(shard_id)
+                _log.warning(
+                    "shard advance worker crashed", shard=shard_id, error=str(error)
+                )
+            except FutureTimeout:
+                timed_out = True
+                failed.append(shard_id)
+                self._inc("advance.deadline_exceeded")
+                _log.warning(
+                    "shard advance blew its deadline",
+                    shard=shard_id,
+                    deadline=self.deadline,
+                )
+            except Exception as error:
+                failed.append(shard_id)
+                _log.warning(
+                    "shard advance raised", shard=shard_id, error=str(error)
+                )
+        if broken or timed_out:
+            self._recycle_pool()
+        return failed
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

@@ -37,9 +37,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import DetectionConfig
 from repro.core.pipeline import FunnelCounters
+from repro.faults import FaultInjector
 from repro.core.types import Regression
 from repro.obs.logging import correlation_id, get_logger, log_context
-from repro.obs.spans import FunnelTrace, TraceStore
+from repro.obs.spans import EventLog, FunnelTrace, TraceStore
 from repro.reporting.report import IncidentReport, build_report
 from repro.runtime.scheduler import DetectionScheduler, ScanOutcome
 from repro.runtime.sinks import IncidentSink
@@ -137,6 +138,7 @@ class _Shard:
         max_workers: int,
         retention: float,
         metrics: MetricsRegistry,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.shard_id = shard_id
         self.database = TimeSeriesDatabase()
@@ -147,6 +149,7 @@ class _Shard:
             policy=backpressure,
             batch_size=batch_size,
             metrics=metrics,
+            fault_injector=fault_injector,
         )
         self.scheduler = DetectionScheduler(
             self.database,
@@ -174,6 +177,7 @@ class _Shard:
         metrics: MetricsRegistry,
         drop_derived: bool = False,
         tracer: Optional[TraceStore] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         """Install (un)pickled shard state (checkpoint-restore path).
 
@@ -199,6 +203,7 @@ class _Shard:
         self.scans = state.get("scans", 0)
         # Rewire process-local observability state (dropped on pickle).
         self.worker.metrics = metrics
+        self.worker.fault_injector = fault_injector
         self.scheduler.wire_metrics(metrics)
         self.scheduler.wire_tracer(tracer)
         if drop_derived:
@@ -281,6 +286,20 @@ class StreamingDetectionService:
             a regression on the same metric counts as already reported.
         trace_capacity: Ring-buffer size (pipeline runs) of the funnel
             trace store behind ``/status`` and :meth:`funnel_trace`.
+        fault_injector: Optional :class:`~repro.faults.FaultInjector`
+            threaded through the parallel executor, ingest workers,
+            background flushers, checkpoint writer, and the service's
+            wall clock — ``None`` (production) makes every hook a no-op.
+        advance_retries: Retries per failed shard advance before the
+            in-process fallback (see
+            :class:`~repro.service.parallel.ParallelShardExecutor`).
+        advance_backoff: Base seconds of the exponential backoff between
+            advance retry rounds.
+        advance_deadline: Per-shard advance deadline in seconds
+            (``None`` disables; a blown deadline counts as a failure and
+            retries).
+        checkpoint_generations: Checkpoint generations retained on disk;
+            restore falls back to the newest intact one.
 
     Example::
 
@@ -307,6 +326,11 @@ class StreamingDetectionService:
         realert_tolerance: float = 3600.0,
         metrics: Optional[MetricsRegistry] = None,
         trace_capacity: int = 256,
+        fault_injector: Optional[FaultInjector] = None,
+        advance_retries: int = 2,
+        advance_backoff: float = 0.05,
+        advance_deadline: Optional[float] = None,
+        checkpoint_generations: int = 3,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -314,12 +338,26 @@ class StreamingDetectionService:
             raise ValueError("workers must be positive")
         self.n_shards = n_shards
         self.workers = workers
-        self._executor: Optional[ParallelShardExecutor] = (
-            ParallelShardExecutor(workers) if workers > 1 else None
-        )
         self.sinks = list(sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.traces = TraceStore(capacity=trace_capacity)
+        self.events = EventLog(capacity=trace_capacity)
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.wire(metrics=self.metrics, events=self.events)
+        self.checkpoint_generations = checkpoint_generations
+        self._executor: Optional[ParallelShardExecutor] = (
+            ParallelShardExecutor(
+                workers,
+                retries=advance_retries,
+                backoff=advance_backoff,
+                deadline=advance_deadline,
+                injector=fault_injector,
+                metrics=self.metrics,
+            )
+            if workers > 1
+            else None
+        )
         self.router = ConsistentHashRouter(range(n_shards), replicas=replicas)
         self.routing_key = routing_key or (lambda sample: sample.name)
         self.realert_tolerance = realert_tolerance
@@ -332,6 +370,7 @@ class StreamingDetectionService:
                 max_workers=max_workers_per_shard,
                 retention=retention,
                 metrics=self.metrics,
+                fault_injector=fault_injector,
             )
             for shard_id in range(n_shards)
         }
@@ -343,7 +382,17 @@ class StreamingDetectionService:
         self._monitor_specs: List[dict] = []
         self._flushers: List[threading.Thread] = []
         self._stop_flushers = threading.Event()
+        # Wall clock is for display only; recovery/aging decisions use
+        # the monotonic reading, which an NTP step (or injected clock
+        # skew) cannot move.
         self._last_checkpoint_at: Optional[float] = None
+        self._last_checkpoint_mono: Optional[float] = None
+        # Per-shard degradation reasons, keyed (shard_id, category) ->
+        # reason string.  Categories ("advance", "flusher") are set when
+        # a recovery path engages and cleared by the next clean pass, so
+        # /healthz shows degraded -> ok transitions around each fault.
+        self._degraded: Dict[int, Dict[str, str]] = {}
+        self._degraded_lock = threading.Lock()
         self.metrics.set_gauge("service.shards", n_shards)
         self.metrics.set_gauge("service.workers", workers)
 
@@ -354,6 +403,52 @@ class StreamingDetectionService:
     @property
     def clock(self) -> float:
         return self._clock
+
+    def _wall(self) -> float:
+        """Wall-clock time, including any injected NTP-style skew.
+
+        Display timestamps come from here; durations and ages never do
+        (they use ``time.monotonic``), which is exactly the property the
+        clock-skew chaos drill asserts.
+        """
+        now = time.time()
+        if self.fault_injector is not None:
+            now += self.fault_injector.clock_skew()
+        return now
+
+    def _set_degraded(self, shard_id: int, category: str, reason: str) -> None:
+        with self._degraded_lock:
+            previous = self._degraded.setdefault(shard_id, {}).get(category)
+            self._degraded[shard_id][category] = reason
+        if previous != reason:
+            self.metrics.inc("service.degraded_transitions")
+            self.events.record(
+                "degraded", shard=shard_id, category=category, reason=reason
+            )
+
+    def _clear_degraded(self, shard_id: int, category: str) -> None:
+        with self._degraded_lock:
+            reasons = self._degraded.get(shard_id)
+            if not reasons or category not in reasons:
+                return
+            del reasons[category]
+            if not reasons:
+                del self._degraded[shard_id]
+        self.events.record("recovered", shard=shard_id, category=category)
+
+    def degraded_reasons(self) -> Dict[int, Dict[str, str]]:
+        """Per-shard degradation reasons (empty when fully healthy)."""
+        with self._degraded_lock:
+            return {shard: dict(reasons) for shard, reasons in self._degraded.items()}
+
+    def faults_snapshot(self) -> Optional[dict]:
+        """The fault injector's plan/execution view (``/faults``).
+
+        ``None`` when no injector is configured — the production case.
+        """
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.snapshot()
 
     def register_monitor(
         self,
@@ -484,6 +579,14 @@ class StreamingDetectionService:
         self.metrics.inc("service.parallel_advances")
         for result in results:
             shard = self._shards[result.shard_id]
+            if result.fallback is not None:
+                self._set_degraded(
+                    result.shard_id, "advance", "in_process_fallback"
+                )
+            elif result.retries:
+                self._set_degraded(result.shard_id, "advance", "advance_retried")
+            else:
+                self._clear_degraded(result.shard_id, "advance")
             shard.complete_advance(result.state, self.metrics, tracer=self.traces)
             self.metrics.observe("service.shard_advance_seconds", result.elapsed)
             self.metrics.merge(result.metrics)
@@ -569,8 +672,26 @@ class StreamingDetectionService:
         self._stop_flushers.clear()
 
         def drain(shard: _Shard) -> None:
+            # A failed flush (TSDB error, injected flusher death) must
+            # not kill the thread: the batch was already re-queued by
+            # the worker, so we mark the shard degraded and retry on the
+            # next tick.  The first clean flush clears the flag — the
+            # degraded -> ok transition /healthz watchers key on.
             while not self._stop_flushers.wait(flush_interval):
-                shard.worker.flush()
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.maybe_raise("flusher", shard.shard_id)
+                    shard.worker.flush()
+                except Exception as error:
+                    self.metrics.inc("service.flush_failures")
+                    self._set_degraded(shard.shard_id, "flusher", "flush_failed")
+                    _log.exception(
+                        "background flush failed",
+                        shard=shard.shard_id,
+                        error=str(error),
+                    )
+                else:
+                    self._clear_degraded(shard.shard_id, "flusher")
 
         for shard in self._shards.values():
             thread = threading.Thread(
@@ -653,18 +774,23 @@ class StreamingDetectionService:
 
         A shard is *saturated* when its queue has reached the
         backpressure threshold (pending >= capacity): offers are now
-        blocking, rejecting, or evicting depending on policy.  Any
-        saturated shard degrades the whole service — the endpoint then
-        answers 503 so probes and load balancers shed traffic before
-        samples are lost.
+        blocking, rejecting, or evicting depending on policy.  A shard
+        is *degraded* while a recovery path is engaged on its behalf
+        (advance retries / in-process fallback, failed background
+        flushes) — the per-shard ``degraded`` map names the reasons, and
+        they clear on the next clean pass.  Either condition degrades
+        the whole service: the endpoint answers 503 so probes and load
+        balancers shed traffic before samples are lost.
 
-        ``checkpoint.age_seconds`` is the wall-clock time since the last
-        :meth:`checkpoint` (or restore) in this process, ``None`` when
-        no checkpoint was ever taken — how much progress a crash right
-        now would replay.
+        ``checkpoint.age_seconds`` is measured on the *monotonic* clock
+        since the last :meth:`checkpoint` (or restore) in this process
+        (``None`` when no checkpoint was ever taken) — how much progress
+        a crash right now would replay.  An NTP step moves ``last_at``
+        (display, wall clock) but can never make the age lie.
         """
         shards = []
         saturated_shards = 0
+        degraded_reasons = self.degraded_reasons()
         for shard in self._shards.values():
             worker = shard.worker
             pending = worker.pending
@@ -678,19 +804,21 @@ class StreamingDetectionService:
                     "policy": worker.policy.value,
                     "saturated": saturated,
                     "scans": shard.scans,
+                    "degraded": degraded_reasons.get(shard.shard_id, {}),
                 }
             )
         checkpoint_age = (
-            time.time() - self._last_checkpoint_at
-            if self._last_checkpoint_at is not None
+            time.monotonic() - self._last_checkpoint_mono
+            if self._last_checkpoint_mono is not None
             else None
         )
-        status = "ok" if saturated_shards == 0 else "degraded"
+        healthy = saturated_shards == 0 and not degraded_reasons
         return {
-            "status": status,
+            "status": "ok" if healthy else "degraded",
             "clock": self._clock,
             "shards": shards,
             "saturated_shards": saturated_shards,
+            "degraded_shards": len(degraded_reasons),
             "flushers_alive": sum(t.is_alive() for t in self._flushers),
             "workers": self.workers,
             "checkpoint": {
@@ -766,11 +894,17 @@ class StreamingDetectionService:
             "monitors": list(self._monitor_specs),
             "metrics": self.metrics.snapshot(),
         }
-        manager = CheckpointManager(directory)
+        manager = CheckpointManager(
+            directory,
+            keep_generations=self.checkpoint_generations,
+            fault_injector=self.fault_injector,
+        )
         path = manager.save(
             meta, {shard.shard_id: shard.state() for shard in self._shards.values()}
         )
-        self._last_checkpoint_at = time.time()
+        self._last_checkpoint_at = self._wall()
+        self._last_checkpoint_mono = time.monotonic()
+        self.events.record("checkpoint_written", clock=self._clock)
         _log.info(
             "checkpoint written",
             path=path,
@@ -797,10 +931,18 @@ class StreamingDetectionService:
         history — so the first scan after a restore pays full price and
         re-anchors from the restored data.
 
+        When the newest checkpoint generation is corrupt (bad checksum,
+        truncated blob, damaged manifest), the load falls back to the
+        next intact generation: ``checkpoint.fallbacks`` counts the
+        skipped generations and a ``checkpoint_fallback`` event records
+        them, so silent restores from stale state cannot happen.
+
         Raises:
-            CheckpointError: When the checkpoint is missing or corrupt.
+            CheckpointError: When the checkpoint is missing entirely or
+                every retained generation is corrupt.
         """
-        meta, shard_states = CheckpointManager(directory).load()
+        manager = CheckpointManager(directory)
+        meta, shard_states = manager.load()
         service = cls(
             n_shards=meta["n_shards"],
             sinks=sinks,
@@ -810,7 +952,11 @@ class StreamingDetectionService:
         )
         for shard_key, state in shard_states.items():
             service._shards[int(shard_key)].load_state(
-                state, service.metrics, drop_derived=True, tracer=service.traces
+                state,
+                service.metrics,
+                drop_derived=True,
+                tracer=service.traces,
+                fault_injector=service.fault_injector,
             )
         service._clock = meta.get("clock", 0.0)
         service._reported = meta.get("reported", 0)
@@ -825,9 +971,25 @@ class StreamingDetectionService:
         service.metrics.restore(meta.get("metrics", {}))
         service.metrics.set_gauge("service.shards", service.n_shards)
         service.metrics.inc("service.restores")
+        load_info = manager.last_load() or {}
+        fallbacks = int(load_info.get("fallbacks", 0) or 0)
+        if fallbacks:
+            service.metrics.inc("checkpoint.fallbacks", fallbacks)
+            service.events.record(
+                "checkpoint_fallback",
+                generation=load_info.get("generation"),
+                skipped=load_info.get("skipped"),
+            )
+            _log.warning(
+                "restore fell back past corrupt checkpoint generations",
+                directory=directory,
+                generation=load_info.get("generation"),
+                skipped=fallbacks,
+            )
         # The restored in-memory state is exactly as fresh as the load;
         # the trace ring buffer starts empty (process-local state).
-        service._last_checkpoint_at = time.time()
+        service._last_checkpoint_at = service._wall()
+        service._last_checkpoint_mono = time.monotonic()
         _log.info(
             "service restored",
             directory=directory,

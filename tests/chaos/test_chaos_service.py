@@ -1,0 +1,330 @@
+"""Chaos drills: randomized-but-reproducible fault schedules vs clean runs.
+
+The contract: a service driven through an exhausting
+:meth:`~repro.faults.FaultPlan.chaos` schedule — worker crashes, advance
+hangs, latent checkpoint corruption, flusher deaths, clock skew —
+delivers **byte-identical** incident reports to a fault-free run over
+the same stream, loses zero accepted samples, and converges back to
+``healthz() == "ok"`` with every ``degraded`` event paired with a later
+``recovered`` event.
+
+Environment knobs (both optional, for CI and local triage):
+
+- ``REPRO_CHAOS_SEED``: run a single seed instead of the default matrix.
+- ``REPRO_CHAOS_ARTIFACTS``: directory that receives the failing run's
+  checkpoint directory, event log, metrics, and injector snapshot.
+"""
+
+import json
+import os
+import shutil
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.runtime import CollectingSink
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import WindowSpec
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+CHANGE_TICK = 700
+SERIES = [f"svc.sub{i}.gcpu" for i in range(8)]
+N_SHARDS = 4
+ADVANCE_EVERY = 200  # ticks per ingest/advance round
+CHECKPOINT_ROUNDS = (1, 3)  # rounds after which a checkpoint is written
+SETTLE_LIMIT = 40  # max post-stream settle advances (stays < rerun_interval)
+
+
+def _seeds():
+    override = os.environ.get("REPRO_CHAOS_SEED")
+    if override is not None:
+        return [int(override)]
+    return [0, 1, 2]
+
+
+def small_config():
+    return DetectionConfig(
+        name="chaos",
+        threshold=0.00005,
+        rerun_interval=6_000.0,
+        windows=WindowSpec(historic=36_000.0, analysis=12_000.0, extended=6_000.0),
+        long_term=False,
+    )
+
+
+def make_stream(seed, regress_index=3):
+    rng = np.random.default_rng(seed)
+    table = {}
+    for index, name in enumerate(SERIES):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == regress_index:
+            values[CHANGE_TICK:] += 0.0003
+        table[name] = values
+    samples = []
+    for name in SERIES:
+        samples.extend(
+            Sample(name, tick * INTERVAL, float(table[name][tick]),
+                   {"metric": "gcpu"})
+            for tick in range(N_TICKS)
+        )
+    samples.sort(key=lambda s: s.timestamp)
+    return samples
+
+
+def make_service(sink, injector=None):
+    service = StreamingDetectionService(
+        n_shards=N_SHARDS,
+        workers=4,
+        sinks=[sink],
+        queue_capacity=2**14,
+        backpressure=BackpressurePolicy.BLOCK,
+        batch_size=128,
+        fault_injector=injector,
+    )
+    service.register_monitor(
+        "gcpu", small_config(), series_filter={"metric": "gcpu"}
+    )
+    return service
+
+
+def drive(service, samples, ckpt_dir):
+    """The drill schedule, identical for clean and chaotic runs.
+
+    Ingest/advance in fixed rounds with background flushers running, and
+    checkpoint at fixed rounds so checkpoint-corruption specs get blob
+    invocations to fire on.  Detection is clock-driven, so two services
+    driven through this schedule scan at identical instants.
+    """
+    service.start(flush_interval=0.005)
+    chunk = ADVANCE_EVERY * len(SERIES)
+    rounds = [samples[begin: begin + chunk] for begin in range(0, len(samples), chunk)]
+    for round_index, batch in enumerate(rounds):
+        service.ingest_many(batch)
+        service.advance_to(batch[-1].timestamp + INTERVAL)
+        if round_index in CHECKPOINT_ROUNDS:
+            service.checkpoint(ckpt_dir)
+    return samples[-1].timestamp + INTERVAL
+
+
+def settle(service, injector, stream_end):
+    """Post-stream convergence: drain remaining fault budgets, recover.
+
+    Small advances past the stream end keep feeding ``worker.advance``
+    invocations (and flusher ticks keep running) until every finite spec
+    has spent its budget, then one more clean pass clears the degraded
+    flags.  The advances stay far below the next rerun boundary, so they
+    can never produce a report and never diverge from the clean run.
+    """
+    for step in range(1, SETTLE_LIMIT + 1):
+        service.advance_to(stream_end + step * 0.001 * INTERVAL)
+        if injector.exhausted() and not service.degraded_reasons():
+            break
+        time.sleep(0.02)
+    service.stop()
+
+
+def report_bytes(reports):
+    return json.dumps([r.to_dict() for r in reports], sort_keys=True)
+
+
+def dump_artifacts(seed, service, injector, ckpt_dir):
+    root = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if not root:
+        return
+    target = os.path.join(root, f"seed-{seed}")
+    os.makedirs(target, exist_ok=True)
+    if os.path.isdir(ckpt_dir):
+        shutil.copytree(
+            ckpt_dir, os.path.join(target, "checkpoint"), dirs_exist_ok=True
+        )
+    state = {
+        "seed": seed,
+        "plan": injector.plan.to_dict(),
+        "injector": injector.snapshot(),
+        "metrics": service.metrics.snapshot(),
+        "degraded": service.degraded_reasons(),
+        "healthz": service.healthz(),
+        "events": [event.to_dict() for event in service.events.events()],
+    }
+    with open(os.path.join(target, "chaos-state.json"), "w", encoding="utf-8") as fh:
+        json.dump(state, fh, indent=2, sort_keys=True, default=str)
+
+
+@pytest.fixture(scope="module")
+def reference_run(tmp_path_factory):
+    """One fault-free run of the drill schedule, shared across seeds."""
+    samples = make_stream(seed=7)
+    sink = CollectingSink()
+    service = make_service(sink)
+    try:
+        stream_end = drive(
+            service, samples, str(tmp_path_factory.mktemp("clean") / "ckpt")
+        )
+        service.advance_to(stream_end + 0.001 * INTERVAL)
+        service.stop()
+        stats = service.stats()
+        assert stats.offered == stats.flushed == len(samples)
+    finally:
+        service.close()
+    return samples, report_bytes(sink.reports)
+
+
+class TestChaosDrill:
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_chaos_run_converges_to_clean_outcome(
+        self, seed, reference_run, tmp_path
+    ):
+        samples, reference = reference_run
+        plan = FaultPlan.chaos(seed, n_shards=N_SHARDS)
+        injector = FaultInjector(plan)
+        sink = CollectingSink()
+        service = make_service(sink, injector=injector)
+        ckpt_dir = str(tmp_path / "ckpt")
+        try:
+            stream_end = drive(service, samples, ckpt_dir)
+            settle(service, injector, stream_end)
+
+            # The schedule actually injected chaos, and all of it spent.
+            assert injector.snapshot()["injected_total"] >= 1
+            assert injector.exhausted()
+
+            # Byte-identical incident reports despite the chaos.
+            assert report_bytes(sink.reports) == reference
+
+            # Zero sample loss: everything offered under BLOCK was
+            # accepted, flushed, and landed in exactly one shard TSDB.
+            stats = service.stats()
+            assert stats.offered == len(samples)
+            assert stats.accepted == len(samples)
+            assert stats.dropped == 0 and stats.rejected == 0
+            assert stats.flushed == len(samples)
+            total_points = sum(
+                len(series)
+                for shard_id in range(N_SHARDS)
+                for series in service.shard_database(shard_id)
+            )
+            assert total_points == len(samples)
+
+            # Degraded -> ok: every degradation recovered, and the final
+            # health answer is a clean 200.
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["degraded_shards"] == 0
+            degraded = [
+                (e.fields["shard"], e.fields["category"])
+                for e in service.events.events(kind="degraded")
+            ]
+            recover_times = {}
+            for event in service.events.events(kind="recovered"):
+                key = (event.fields["shard"], event.fields["category"])
+                recover_times.setdefault(key, []).append(event.wall)
+            for key in degraded:
+                assert key in recover_times, f"no recovery for {key}"
+        except AssertionError:
+            dump_artifacts(seed, service, injector, ckpt_dir)
+            raise
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("seed", _seeds())
+    def test_chaos_checkpoints_restore_or_fall_back(
+        self, seed, reference_run, tmp_path
+    ):
+        """Checkpoints written *during* chaos stay usable: restore either
+        loads the newest generation or falls back to an intact older one,
+        and the restored service replays to the clean outcome."""
+        samples, reference = reference_run
+        injector = FaultInjector(FaultPlan.chaos(seed, n_shards=N_SHARDS))
+        sink = CollectingSink()
+        service = make_service(sink, injector=injector)
+        ckpt_dir = str(tmp_path / "ckpt")
+        try:
+            stream_end = drive(service, samples, ckpt_dir)
+            settle(service, injector, stream_end)
+        except Exception:
+            dump_artifacts(seed, service, injector, ckpt_dir)
+            raise
+        finally:
+            service.close()
+
+        resume_sink = CollectingSink()
+        restored = StreamingDetectionService.restore(
+            ckpt_dir, sinks=[resume_sink], workers=4
+        )
+        try:
+            resume_from = restored.clock
+            assert resume_from > 0.0
+            restored.ingest_many(
+                [s for s in samples if s.timestamp >= resume_from]
+            )
+            restored.advance_to(stream_end)
+            restored.flush()
+            seen = {
+                (r.metric_id, r.change_time) for r in sink.reports
+            } | {
+                (r.metric_id, r.change_time) for r in resume_sink.reports
+            }
+            expected = {
+                (r["metric_id"], r["change_time"])
+                for r in json.loads(reference)
+            }
+            assert seen == expected
+        except AssertionError:
+            dump_artifacts(seed, restored, injector, ckpt_dir)
+            raise
+        finally:
+            restored.close()
+
+
+class TestTargetedRecoveries:
+    """Deterministic single-fault drills with explicit plans."""
+
+    def test_flusher_death_recovers_without_loss(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.FLUSHER_DEATH, times=2),
+        ))
+        injector = FaultInjector(plan)
+        sink = CollectingSink()
+        service = make_service(sink, injector=injector)
+        try:
+            service.start(flush_interval=0.005)
+            samples = make_stream(seed=7)[: 4 * len(SERIES) * 50]
+            service.ingest_many(samples)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if (
+                    injector.exhausted()
+                    and not service.degraded_reasons()
+                    and service.stats().flushed == len(samples)
+                ):
+                    break
+                time.sleep(0.01)
+            service.stop()
+            assert injector.counts() == {"flusher_death": 2}
+            stats = service.stats()
+            assert stats.flushed == len(samples)
+            assert stats.dropped == 0 and stats.rejected == 0
+            assert service.healthz()["status"] == "ok"
+            counters = service.metrics.snapshot()["counters"]
+            assert counters["service.flush_failures"] == 2.0
+            assert service.events.events(kind="recovered")
+        finally:
+            service.close()
+
+    def test_clock_skew_never_corrupts_checkpoint_age(self, tmp_path):
+        plan = FaultPlan(specs=(
+            FaultSpec(FaultKind.CLOCK_SKEW, skew_seconds=-7200.0),
+        ))
+        service = make_service(CollectingSink(), injector=FaultInjector(plan))
+        try:
+            service.checkpoint(str(tmp_path / "ckpt"))
+            health = service.healthz()
+            age = health["checkpoint"]["age_seconds"]
+            assert age is not None and 0.0 <= age < 60.0
+            assert health["checkpoint"]["last_at"] < time.time() - 3600.0
+        finally:
+            service.close()

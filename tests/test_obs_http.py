@@ -185,6 +185,7 @@ class TestStatusEndpoint:
             "/metrics",
             "/healthz",
             "/status",
+            "/faults",
         }
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server.url + "/nope")

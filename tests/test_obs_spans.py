@@ -305,3 +305,39 @@ class TestServiceTracing:
         for stage in STAGES:
             assert trace.totals[stage].outputs == service.funnel.counts[stage]
         service.close()
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        from repro.obs.spans import EventLog
+
+        log = EventLog(capacity=8)
+        log.record("degraded", shard=1, category="advance")
+        log.record("recovered", shard=1, category="advance")
+        log.record("degraded", shard=0, category="flusher")
+        assert len(log) == 3
+        assert log.recorded == 3
+        degraded = log.events(kind="degraded")
+        assert [e.fields["shard"] for e in degraded] == [1, 0]
+        assert degraded[0].to_dict()["category"] == "advance"
+
+    def test_capacity_bounds_buffer_but_not_recorded(self):
+        from repro.obs.spans import EventLog
+
+        log = EventLog(capacity=4)
+        for index in range(10):
+            log.record("tick", index=index)
+        assert len(log) == 4
+        assert log.recorded == 10
+        assert [e.fields["index"] for e in log.events()] == [6, 7, 8, 9]
+
+    def test_pickles_to_empty_shell(self):
+        from repro.obs.spans import EventLog
+
+        log = EventLog(capacity=4)
+        log.record("tick")
+        clone = pickle.loads(pickle.dumps(log))
+        assert len(clone) == 0
+        assert clone.capacity == 4
+        clone.record("tock")  # usable after unpickling
+        assert len(clone) == 1

@@ -133,3 +133,35 @@ class TestSinks:
         with caplog.at_level(logging.WARNING, logger="repro.runtime.test"):
             scheduler.advance_to(54_000.0)
         assert any("Performance regression" in r.message for r in caplog.records)
+
+
+class TestScanFailureIsolation:
+    """One monitor's scan blowing up must not abort the whole batch."""
+
+    def test_failing_monitor_does_not_starve_others(self, rng):
+        class _Registry:
+            def __init__(self):
+                self.counters = {}
+
+            def inc(self, name, amount=1.0):
+                self.counters[name] = self.counters.get(name, 0.0) + amount
+
+            def observe(self, name, value):
+                pass
+
+        registry = _Registry()
+        db = regression_db(rng)
+        scheduler = DetectionScheduler(db, metrics=registry)
+        scheduler.register("healthy", small_config(), first_run=54_000.0)
+        broken = scheduler.register("broken", small_config(), first_run=54_000.0)
+
+        def explode(database, now):
+            raise RuntimeError("scan bug")
+
+        broken.detector.run = explode
+        outcomes = scheduler.advance_to(54_000.0)
+        assert [o.monitor for o in outcomes] == ["healthy"]
+        assert registry.counters["scheduler.scan_failures"] == 1.0
+        assert registry.counters["scheduler.scans"] == 1.0
+        # The failed monitor is rescheduled, not stuck at its old due time.
+        assert broken.next_run > 54_000.0

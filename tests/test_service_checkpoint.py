@@ -66,7 +66,9 @@ class TestCheckpointManager:
     def test_corrupt_blob_detected(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.save({}, {0: list(range(100))})
-        blob_path = tmp_path / "shard-0.pkl"
+        with open(manager.manifest_path, encoding="utf-8") as source:
+            blob_name = json.load(source)["shards"]["0"]["file"]
+        blob_path = tmp_path / blob_name
         payload = bytearray(blob_path.read_bytes())
         payload[len(payload) // 2] ^= 0xFF
         blob_path.write_bytes(bytes(payload))
@@ -76,21 +78,152 @@ class TestCheckpointManager:
     def test_version_mismatch_raises(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.save({}, {0: "x"})
-        with open(manager.manifest_path, encoding="utf-8") as source:
-            manifest = json.load(source)
-        manifest["version"] = 99
-        with open(manager.manifest_path, "w", encoding="utf-8") as sink:
-            json.dump(manifest, sink)
+        # Rewrite every manifest copy (pointer + generation) so there is
+        # no intact generation left to fall back to.
+        for name in ("manifest.json", "manifest.g1.json"):
+            path = tmp_path / name
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+            manifest["version"] = 99
+            path.write_text(json.dumps(manifest), encoding="utf-8")
         with pytest.raises(CheckpointError, match="version"):
             manager.load()
 
     def test_corrupt_manifest_raises(self, tmp_path):
         manager = CheckpointManager(str(tmp_path))
         manager.save({}, {})
-        with open(manager.manifest_path, "w", encoding="utf-8") as sink:
-            sink.write("{not json")
+        for name in ("manifest.json", "manifest.g1.json"):
+            (tmp_path / name).write_text("{not json", encoding="utf-8")
         with pytest.raises(CheckpointError, match="unreadable manifest"):
             manager.load()
+
+
+class TestCheckpointGenerations:
+    @staticmethod
+    def _blob_of(directory, generation, shard="0"):
+        manifest = json.loads(
+            (directory / f"manifest.g{generation}.json").read_text(encoding="utf-8")
+        )
+        return directory / manifest["shards"][shard]["file"]
+
+    def test_corrupt_newest_blob_falls_back_one_generation(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({"clock": 1.0}, {0: "one"})
+        manager.save({"clock": 2.0}, {0: "two"})
+        blob = self._blob_of(tmp_path, 2)
+        payload = bytearray(blob.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        blob.write_bytes(bytes(payload))
+
+        meta, shards = manager.load()
+        assert meta == {"clock": 1.0}
+        assert shards == {"0": "one"}
+        info = manager.last_load()
+        assert info["generation"] == 1
+        assert info["fallbacks"] == 1
+        assert "checksum mismatch" in info["skipped"][0]
+
+    def test_truncated_blob_and_corrupt_manifest_fall_back(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({"clock": 1.0}, {0: "one"})
+        manager.save({"clock": 2.0}, {0: "two"})
+        manager.save({"clock": 3.0}, {0: "three"})
+        # Generation 3: truncated blob.  Generation 2: mangled manifest.
+        blob = self._blob_of(tmp_path, 3)
+        blob.write_bytes(blob.read_bytes()[:4])
+        (tmp_path / "manifest.g2.json").write_text("{not json", encoding="utf-8")
+
+        meta, shards = manager.load()
+        assert meta == {"clock": 1.0} and shards == {"0": "one"}
+        assert manager.last_load()["fallbacks"] == 2
+
+    def test_intact_newest_means_no_fallback(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({"clock": 1.0}, {0: "one"})
+        manager.save({"clock": 2.0}, {0: "two"})
+        meta, _ = manager.load()
+        assert meta == {"clock": 2.0}
+        assert manager.last_load()["fallbacks"] == 0
+
+    def test_old_generations_and_orphans_pruned(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep_generations=2)
+        for round_index in range(5):
+            manager.save({"round": round_index}, {0: "x", 1: "y"})
+        names = sorted(os.listdir(tmp_path))
+        assert "manifest.g4.json" in names and "manifest.g5.json" in names
+        assert not any(name == f"manifest.g{g}.json" for g in (1, 2, 3) for name in names)
+        # Every remaining blob is referenced by a retained manifest.
+        referenced = set()
+        for generation in (4, 5):
+            manifest = json.loads(
+                (tmp_path / f"manifest.g{generation}.json").read_text(encoding="utf-8")
+            )
+            referenced.update(e["file"] for e in manifest["shards"].values())
+        blobs = {name for name in names if name.endswith(".pkl")}
+        assert blobs == referenced
+
+    def test_shard_shrink_prunes_stale_blobs(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep_generations=1)
+        manager.save({}, {0: "a", 1: "b", 2: "c"})
+        manager.save({}, {0: "a"})
+        blobs = {n for n in os.listdir(tmp_path) if n.endswith(".pkl")}
+        assert blobs == {"shard-0.g2.pkl"}
+
+    def test_every_generation_corrupt_raises(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save({}, {0: "one"})
+        manager.save({}, {0: "two"})
+        for generation in (1, 2):
+            blob = self._blob_of(tmp_path, generation)
+            blob.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="every checkpoint generation"):
+            manager.load()
+
+    def test_keep_generations_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_generations"):
+            CheckpointManager(str(tmp_path), keep_generations=0)
+
+
+class TestServiceRestoreFallback:
+    def test_restore_falls_back_with_ledger_intact(self, stream, tmp_path):
+        """Corrupt the newest generation in-place; restore must fall back
+        to the previous one and keep the re-alert ledger intact."""
+        sink = CollectingSink()
+        service = make_service(sink)
+        feed(service, stream, 0, KILL_TICK)
+        assert sink.reports, "a report must land before the checkpoints"
+
+        directory = str(tmp_path / "ckpt")
+        service.checkpoint(directory)
+        service.checkpoint(directory)  # generation 2, identical state
+        ledger_before = {k: list(v) for k, v in service._reported_ledger.items()}
+
+        # Damage generation 2: one shard blob flipped, its manifest cut.
+        manifest2 = json.loads(
+            (tmp_path / "ckpt" / "manifest.g2.json").read_text(encoding="utf-8")
+        )
+        blob_name = manifest2["shards"]["0"]["file"]
+        blob = tmp_path / "ckpt" / blob_name
+        payload = bytearray(blob.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        blob.write_bytes(bytes(payload))
+
+        sink_after = CollectingSink()
+        restored = StreamingDetectionService.restore(directory, sinks=[sink_after])
+        assert restored._reported_ledger == ledger_before
+        counters = restored.metrics.snapshot()["counters"]
+        assert counters["checkpoint.fallbacks"] == 1.0
+        fallback_events = restored.events.events(kind="checkpoint_fallback")
+        assert len(fallback_events) == 1
+        assert fallback_events[0].fields["generation"] == 1
+
+        # Replay the tail: no re-alerts, same reports as an undisturbed run.
+        reference_sink = CollectingSink()
+        reference = make_service(reference_sink)
+        feed(reference, stream, 0, N_TICKS)
+        feed(restored, stream, KILL_TICK, N_TICKS)
+        combined = report_keys(sink.reports) + report_keys(sink_after.reports)
+        assert combined == report_keys(reference_sink.reports)
+        assert len(set(combined)) == len(combined), "duplicate report after fallback"
 
 
 # -- streaming kill/restore equivalence ---------------------------------

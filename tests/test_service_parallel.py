@@ -9,6 +9,8 @@ cache dropped at the trust boundary.
 """
 
 import json
+import os
+import signal
 import threading
 import time
 
@@ -18,6 +20,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.config import DetectionConfig
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.runtime import CollectingSink
 from repro.service import (
     BackpressurePolicy,
@@ -25,6 +28,7 @@ from repro.service import (
     Sample,
     StreamingDetectionService,
 )
+from repro.service.metrics import MetricsRegistry
 from repro.tsdb import WindowSpec
 
 N_TICKS = 1_100
@@ -270,6 +274,218 @@ class TestKillRestoreUnderWorkers:
 
         combined = sink_before.reports + sink_after.reports
         assert report_bytes(combined) == report_bytes(reference_reports)
+
+class TestAdvanceFailureRecovery:
+    """Crash-safe shard advances: the failure paths of map_shards.
+
+    Regression tests for the poisoned-pool bug: a worker crash used to
+    raise ``BrokenProcessPool`` out of ``advance_to`` *and* leave the
+    broken pool cached, so every later advance failed too.  Now the
+    executor retries on a fresh pool and, when retries exhaust, advances
+    the shard in-process — and either way the delivered reports are
+    byte-identical to an undisturbed run.
+    """
+
+    def test_sigkill_pool_worker_with_live_producers_loses_nothing(self):
+        """SIGKILL a pool worker under workers=4 with producers running."""
+        service = StreamingDetectionService(
+            n_shards=4,
+            workers=4,
+            queue_capacity=64,
+            backpressure=BackpressurePolicy.BLOCK,
+            batch_size=16,
+        )
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        service.start(flush_interval=0.001)
+        # Prime the pool so worker processes exist to kill.
+        service.advance_to(1.0)
+        stop = threading.Event()
+        counts = [0] * 4
+
+        def produce(index):
+            name = SERIES[index]
+            while not stop.is_set():
+                service.ingest(
+                    name, counts[index] * INTERVAL, 0.001, {"metric": "gcpu"}
+                )
+                counts[index] += 1
+                time.sleep(0.0005)
+
+        producers = [
+            threading.Thread(target=produce, args=(index,), daemon=True)
+            for index in range(4)
+        ]
+        for producer in producers:
+            producer.start()
+        try:
+            for round_index in range(4):
+                victim_pid = next(iter(service._executor._pool._processes))
+                os.kill(victim_pid, signal.SIGKILL)
+                # The advance runs against a pool with a freshly killed
+                # worker; recovery must be invisible to the caller.
+                service.advance_to((round_index + 2) * 10_000.0)
+        finally:
+            stop.set()
+            for producer in producers:
+                producer.join(timeout=10.0)
+        assert not any(producer.is_alive() for producer in producers)
+        service.stop()
+
+        stats = service.stats()
+        total_offered = sum(counts)
+        assert stats.offered == total_offered
+        assert stats.accepted == total_offered
+        assert stats.dropped == 0 and stats.rejected == 0
+        assert stats.flushed == total_offered
+        total_points = sum(
+            len(series)
+            for shard_id in range(4)
+            for series in service.shard_database(shard_id)
+        )
+        assert total_points == total_offered
+        service.close()
+
+    def test_injected_worker_crash_reports_byte_identical(self):
+        """A mid-advance worker crash must not change what gets reported."""
+        samples = make_stream(seed=7, regress_index=3)
+        reference_reports, _ = run_stream(samples, workers=4)
+
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(FaultKind.WORKER_CRASH, times=2, after=1),
+        ))
+        sink = CollectingSink()
+        service = StreamingDetectionService(
+            n_shards=4,
+            workers=4,
+            sinks=[sink],
+            queue_capacity=512,
+            backpressure=BackpressurePolicy.BLOCK,
+            batch_size=128,
+            fault_injector=FaultInjector(plan),
+        )
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        chunk = 200 * len(SERIES)
+        for begin in range(0, len(samples), chunk):
+            batch = samples[begin : begin + chunk]
+            service.ingest_many(batch)
+            service.advance_to(batch[-1].timestamp + INTERVAL)
+        counters = service.metrics.snapshot()["counters"]
+        service.close()
+
+        assert counters["faults.injected.worker_crash"] == 2.0
+        assert counters["advance.retries"] > 0
+        assert counters["advance.pool_recreations"] > 0
+        assert report_bytes(sink.reports) == report_bytes(reference_reports)
+
+    def test_hang_past_deadline_retries_and_recovers(self):
+        """A hung worker trips the per-shard deadline, then the retry wins."""
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=2, specs=(
+            FaultSpec(FaultKind.ADVANCE_HANG, times=1, hang_seconds=5.0),
+        ))
+        injector = FaultInjector(plan, metrics=registry)
+        executor = ParallelShardExecutor(
+            workers=2, retries=2, backoff=0.01, deadline=0.5,
+            injector=injector, metrics=registry,
+        )
+        service = StreamingDetectionService(n_shards=2, workers=1)
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        try:
+            blobs = {
+                shard_id: shard.begin_advance()
+                for shard_id, shard in service._shards.items()
+            }
+            started = time.perf_counter()
+            results = executor.map_shards(blobs, target=100.0)
+            elapsed = time.perf_counter() - started
+            assert [r.shard_id for r in results] == [0, 1]
+            assert elapsed < 5.0, "the hung worker was abandoned, not awaited"
+            counters = registry.snapshot()["counters"]
+            assert counters["advance.deadline_exceeded"] == 1.0
+            assert counters["advance.retries"] >= 1.0
+            hung = [r for r in results if r.retries > 0]
+            assert hung and all(r.fallback is None for r in results)
+        finally:
+            for shard in service._shards.values():
+                shard.abort_advance()
+            executor.close()
+            service.close()
+
+    def test_persistent_crash_falls_back_in_process(self):
+        """Retries exhausted -> the parent advances the shard itself."""
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=3, specs=(
+            FaultSpec(FaultKind.WORKER_CRASH, shard=0, times=None),
+        ))
+        injector = FaultInjector(plan, metrics=registry)
+        executor = ParallelShardExecutor(
+            workers=2, retries=1, backoff=0.01,
+            injector=injector, metrics=registry,
+        )
+        service = StreamingDetectionService(n_shards=2, workers=1)
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        try:
+            blobs = {
+                shard_id: shard.begin_advance()
+                for shard_id, shard in service._shards.items()
+            }
+            results = executor.map_shards(blobs, target=100.0)
+            by_shard = {r.shard_id: r for r in results}
+            assert by_shard[0].fallback == "in_process"
+            assert by_shard[1].fallback is None
+            counters = registry.snapshot()["counters"]
+            assert counters["advance.fallbacks"] == 1.0
+        finally:
+            for shard in service._shards.values():
+                shard.abort_advance()
+            executor.close()
+            service.close()
+
+    def test_degraded_set_then_cleared_on_clean_advance(self):
+        plan = FaultPlan(seed=4, specs=(
+            FaultSpec(FaultKind.WORKER_CRASH, times=1),
+        ))
+        service = StreamingDetectionService(
+            n_shards=2, workers=2, fault_injector=FaultInjector(plan),
+        )
+        service.register_monitor(
+            "gcpu", small_config(), series_filter={"metric": "gcpu"}
+        )
+        service.advance_to(10_000.0)  # crash fires -> retry -> degraded
+        degraded = service.degraded_reasons()
+        assert degraded, "retried advance must surface as degraded"
+        assert all(
+            reasons.get("advance") in {"advance_retried", "in_process_fallback"}
+            for reasons in degraded.values()
+        )
+        assert service.healthz()["status"] == "degraded"
+        service.advance_to(20_000.0)  # budget spent -> clean advance
+        assert service.degraded_reasons() == {}
+        assert service.healthz()["status"] == "ok"
+        transitions = [e.kind for e in service.events.events()]
+        assert "degraded" in transitions and "recovered" in transitions
+        service.close()
+
+    def test_deterministic_error_still_propagates(self):
+        """A genuine bug (not a crash) must fail the advance, loudly."""
+        executor = ParallelShardExecutor(workers=2, retries=1, backoff=0.01)
+        try:
+            with pytest.raises(Exception):
+                executor.map_shards({0: b"not a pickle"}, target=1.0)
+        finally:
+            executor.close()
+
+
+class TestKillRestoreUnderWorkersCaches:
+    KILL_TICK = TestKillRestoreUnderWorkers.KILL_TICK
 
     def test_checkpoint_blobs_keep_caches_but_restore_drops_them(self, tmp_path):
         samples = make_stream(seed=7, regress_index=3)
