@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""CI quality smoke: the dirty-data drill must not move an alert.
+
+Runs the same fleet stream twice through a parallel (``--workers 4``)
+detection service — once clean, once through
+:func:`repro.fleet.dirty_stream` (local reordering, NaN bursts, gaps on
+quiet series, a counter rollover) — and gates on:
+
+- zero false alerts: the dirty run's incident reports are
+  **byte-identical** to the clean run's;
+- the planted regression is still caught (exactly one report);
+- the damage actually happened and was absorbed: quarantined NaNs,
+  one rebased counter reset, reordered deliveries re-sequenced.
+
+Exit status 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_quality_smoke.py [--workers 4]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.fleet import DirtyDataSpec, dirty_stream
+from repro.runtime import CollectingSink
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import WindowSpec
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+CHANGE_TICK = 700
+REGRESS_INDEX = 3
+SERIES = [f"svc.sub{i}.gcpu" for i in range(8)]
+COUNTER = "svc.requests.count"
+N_SHARDS = 4
+ROUND_TICKS = 200
+
+
+def make_stream(seed=7):
+    rng = np.random.default_rng(seed)
+    table = {}
+    for index, name in enumerate(SERIES):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == REGRESS_INDEX:
+            values[CHANGE_TICK:] += 0.0003
+        table[name] = values
+    samples = []
+    for tick in range(N_TICKS):
+        for name in SERIES:
+            samples.append(
+                Sample(name, tick * INTERVAL, float(table[name][tick]),
+                       {"metric": "gcpu"})
+            )
+        samples.append(
+            Sample(COUNTER, tick * INTERVAL, float(7 * tick),
+                   {"metric": "requests", "type": "counter"})
+        )
+    return samples
+
+
+def dirty_spec():
+    return DirtyDataSpec(
+        seed=5,
+        reorder_block=3 * (len(SERIES) + 1),
+        nan_series=(SERIES[0], SERIES[REGRESS_INDEX]),
+        gap_series=(SERIES[1], SERIES[2]),
+        gap_fraction=0.05,
+        rollover_series=(COUNTER,),
+    )
+
+
+def run(samples, workers):
+    sink = CollectingSink()
+    service = StreamingDetectionService(
+        n_shards=N_SHARDS,
+        workers=workers,
+        sinks=[sink],
+        queue_capacity=2**14,
+        backpressure=BackpressurePolicy.BLOCK,
+        batch_size=128,
+    )
+    service.register_monitor(
+        "gcpu",
+        DetectionConfig(
+            name="quality-smoke",
+            threshold=0.00005,
+            rerun_interval=6_000.0,
+            windows=WindowSpec(
+                historic=36_000.0, analysis=12_000.0, extended=6_000.0
+            ),
+            long_term=False,
+        ),
+        series_filter={"metric": "gcpu"},
+    )
+    try:
+        span = ROUND_TICKS * INTERVAL
+        rounds = int(math.ceil(N_TICKS / ROUND_TICKS))
+        for index in range(rounds):
+            begin, end = index * span, (index + 1) * span
+            service.ingest_many(
+                [s for s in samples if begin <= s.timestamp < end]
+            )
+            service.advance_to(end)
+        service.flush()
+        reports = json.dumps(
+            [r.to_dict() for r in sink.reports], sort_keys=True
+        )
+        return reports, [r.metric_id for r in sink.reports], (
+            service.quality_snapshot()
+        )
+    finally:
+        service.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    samples = make_stream()
+    clean_reports, clean_alerted, _ = run(samples, args.workers)
+    if clean_alerted != [SERIES[REGRESS_INDEX]]:
+        print(f"FAIL: clean run alerted {clean_alerted}, expected "
+              f"[{SERIES[REGRESS_INDEX]!r}]")
+        return 1
+
+    dirty = dirty_stream(samples, dirty_spec())
+    dirty_reports, dirty_alerted, quality = run(dirty, args.workers)
+
+    counters = quality["counters"]
+    false_alerts = sorted(set(dirty_alerted) - set(clean_alerted))
+    print(f"clean alerts:  {clean_alerted}")
+    print(f"dirty alerts:  {dirty_alerted}")
+    print(f"quarantined:   {quality['quarantined_points']}")
+    print(f"reordered:     {counters['reordered']}")
+    print(f"counter resets: {counters['counter_resets']}")
+
+    if false_alerts:
+        print(f"FAIL: false alerts on dirty data: {false_alerts}")
+        return 1
+    if dirty_reports != clean_reports:
+        print("FAIL: dirty-run reports are not byte-identical to clean")
+        return 1
+    if quality["quarantined_points"] == 0:
+        print("FAIL: drill injected no quarantinable damage")
+        return 1
+    if counters["counter_resets"] != 1:
+        print(f"FAIL: expected 1 counter reset, saw "
+              f"{counters['counter_resets']}")
+        return 1
+    if counters["reordered"] == 0:
+        print("FAIL: drill reordered nothing")
+        return 1
+    print("OK: dirty-data drill byte-identical, zero false alerts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

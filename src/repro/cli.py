@@ -136,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the demo under fault injection: a path to a fault-plan "
         "JSON file, or 'chaos:<seed>' for a generated chaos schedule",
     )
+    serve.add_argument(
+        "--dirty-data",
+        action="store_true",
+        help="damage the simulated stream before ingest (out-of-order "
+        "batches, NaN bursts, dropped samples) to exercise the "
+        "data-quality admission layer",
+    )
 
     sub.add_parser("presets", help="list Table 1 workload presets")
     return parser
@@ -230,6 +237,61 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0 if result.reported else 1
 
 
+def _stream_dirty(
+    args: argparse.Namespace,
+    simulator: FleetSimulator,
+    service: StreamingDetectionService,
+    hottest: str,
+) -> None:
+    """Run the simulation, damage the stream, and replay it dirtily.
+
+    The clean per-tick stream is collected first, then damaged with
+    :func:`repro.fleet.dirty.dirty_stream` (local reordering everywhere,
+    NaN bursts on two gCPU series, dropped samples on two series that
+    are *not* the regressing one), then ingested in ten chunks with an
+    advance after each — the admission layer absorbs the damage before
+    detection ever looks.
+    """
+    from repro.fleet.dirty import DirtyDataSpec, dirty_stream
+    from repro.service import Sample
+
+    stream: List[Sample] = []
+    for _ in range(args.ticks):
+        tick_time = simulator.time
+        simulator.tick()
+        for series in simulator.database:
+            latest = series.latest()
+            if latest is not None and latest[0] == tick_time:
+                stream.append(
+                    Sample(series.name, latest[0], latest[1], dict(series.tags))
+                )
+    gcpu = sorted({s.name for s in stream if s.name.endswith(".gcpu")})
+    quiet = [name for name in gcpu if hottest not in name]
+    # One sample per series per tick: a shuffle block spanning ~3 ticks
+    # displaces each series by at most ~3 positions, safely inside the
+    # default admission reorder window of 16.
+    n_series = len({s.name for s in stream})
+    spec = DirtyDataSpec(
+        seed=args.seed,
+        reorder_block=3 * max(1, n_series),
+        nan_series=tuple(gcpu[:2]),
+        gap_series=tuple(quiet[:2]),
+        gap_fraction=0.03,
+    )
+    dirty = dirty_stream(stream, spec)
+    print(f"dirty-data drill: {len(stream)} clean samples -> {len(dirty)} "
+          f"delivered (reorder block {spec.reorder_block}, NaN bursts on "
+          f"{len(spec.nan_series)} series, gaps on {len(spec.gap_series)})")
+    chunk = max(1, len(dirty) // 10)
+    seen = 0.0
+    for start in range(0, len(dirty), chunk):
+        batch = dirty[start:start + chunk]
+        service.ingest_many(batch)
+        seen = max(seen, max(sample.timestamp for sample in batch))
+        service.advance_to(seen + args.interval)
+    service.advance_to(simulator.time)
+
+
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
@@ -320,16 +382,21 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 
         obs_server = ObservabilityServer(service, port=args.obs_port).start()
         print(f"observability endpoints at {obs_server.url} "
-              "(/metrics /healthz /status /faults)")
+              "(/metrics /healthz /status /faults /quality)")
 
-    for _ in range(args.ticks):
-        tick_time = simulator.time
-        simulator.tick()
-        for series in simulator.database:
-            latest = series.latest()
-            if latest is not None and latest[0] == tick_time:
-                service.ingest(series.name, latest[0], latest[1], dict(series.tags))
-        service.advance_to(simulator.time)
+    if args.dirty_data:
+        _stream_dirty(args, simulator, service, hottest)
+    else:
+        for _ in range(args.ticks):
+            tick_time = simulator.time
+            simulator.tick()
+            for series in simulator.database:
+                latest = series.latest()
+                if latest is not None and latest[0] == tick_time:
+                    service.ingest(
+                        series.name, latest[0], latest[1], dict(series.tags)
+                    )
+            service.advance_to(simulator.time)
     service.flush()
 
     stats = service.stats()
@@ -362,6 +429,19 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     for report in sink.reports:
         print(f"  - {report.metric_id} (+{report.relative_magnitude:.1%} "
               f"at t={report.change_time:.0f})")
+    quality = service.quality_snapshot()
+    if quality["enabled"]:
+        counters = quality["counters"]
+        print()
+        print(f"data quality: {counters.get('admitted', 0)} admitted, "
+              f"{counters.get('quarantined', 0)} quarantined, "
+              f"{counters.get('repaired', 0)} repaired, "
+              f"{counters.get('reordered', 0)} reordered, "
+              f"{counters.get('counter_resets', 0)} counter resets, "
+              f"{counters.get('duplicates', 0)} duplicates")
+        stale = quality["stale_series"]
+        if stale:
+            print(f"stale series evicted from scheduling: {', '.join(stale)}")
     if injector is not None:
         fired = injector.counts()
         total = sum(fired.values())
@@ -387,7 +467,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         import urllib.request
 
         print()
-        for endpoint in ("/metrics", "/healthz", "/status"):
+        for endpoint in ("/metrics", "/healthz", "/status", "/quality"):
             try:
                 with urllib.request.urlopen(
                     obs_server.url + endpoint, timeout=5.0

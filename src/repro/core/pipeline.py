@@ -49,6 +49,7 @@ from repro.fleet.changes import ChangeLog
 from repro.obs.logging import get_logger
 from repro.obs.spans import STAGES, RunTrace, StageTally
 from repro.profiling.stacktrace import StackTrace
+from repro.quality.gaps import QualityGate
 from repro.tsdb.database import TimeSeriesDatabase
 from repro.tsdb.series import TimeSeries
 
@@ -161,6 +162,15 @@ class DetectionPipeline:
             that telescope on the short-term path and per-stage drop
             reasons.  ``None`` (the default) keeps the scan hot path
             free of tally work.
+        quality_gate: Optional :class:`~repro.quality.gaps.QualityGate`
+            making detection gap-aware: scan windows whose coverage
+            (points present vs the series' own cadence) falls below the
+            gate's floor are suppressed instead of scanned — a window
+            that is mostly gap fires false positives — and series that
+            stopped reporting are evicted from scanning until they
+            resume (see :meth:`stale_series`).  ``None`` disables both.
+            Independently of the gate, windows containing non-finite
+            values are never scanned.
     """
 
     def __init__(
@@ -180,6 +190,7 @@ class DetectionPipeline:
         incremental: bool = False,
         metrics: Optional[object] = None,
         tracer: Optional[object] = None,
+        quality_gate: Optional[QualityGate] = None,
     ) -> None:
         self.config = config
         self.change_log = change_log if change_log is not None else ChangeLog()
@@ -200,6 +211,11 @@ class DetectionPipeline:
         )
         self.metrics = metrics
         self.tracer = tracer
+        self.quality_gate = quality_gate
+        # Series currently evicted for staleness; membership is
+        # re-evaluated every run, so a series that resumes reporting
+        # leaves the set on its next scan.
+        self._stale: set = set()
 
         self.change_point_detector = ChangePointDetector()
         self.went_away_detector = WentAwayDetector()
@@ -237,6 +253,12 @@ class DetectionPipeline:
 
         stage_started = time.perf_counter()
         for series in self._matching_series(database):
+            if self.quality_gate is not None and self._evict_if_stale(series, now):
+                # Evicted from scheduling until it resumes: a dead host
+                # must cost nothing per tick and never alert.
+                if trace is not None:
+                    trace["change_points"].observe(False, "stale_series")
+                continue
             candidate = self._short_term(series, now, funnel, trace)
             if candidate is not None:
                 candidates.append(candidate)
@@ -381,6 +403,73 @@ class DetectionPipeline:
             return database.query(**self.series_filter)
         return list(database)
 
+    def stale_series(self) -> List[str]:
+        """Series currently evicted from scanning for staleness, sorted."""
+        return sorted(self._stale)
+
+    def _evict_if_stale(self, series: TimeSeries, now: float) -> bool:
+        """Track and report whether ``series`` stopped reporting."""
+        last = series.end
+        if last is None:
+            return False
+        if self.quality_gate.is_stale(last, now, self.config.windows.analysis):
+            if series.name not in self._stale:
+                self._stale.add(series.name)
+                if self.metrics is not None:
+                    self.metrics.inc("pipeline.quality.stale_evictions")
+            if self.metrics is not None:
+                self.metrics.inc("pipeline.quality.stale_skips")
+            return True
+        self._stale.discard(series.name)
+        return False
+
+    def _window_ok(
+        self,
+        series: TimeSeries,
+        windowed,
+        trace: Optional[Dict[str, StageTally]],
+        started: float,
+    ) -> bool:
+        """Quality guards a scan window must clear.
+
+        Non-finite values anywhere in the window always suppress the
+        scan (NaN poisons every downstream statistic); with a quality
+        gate attached, windows whose coverage falls below the gate's
+        floor are suppressed too.  Suppressions are counted and traced,
+        never alerted.
+        """
+        finite = (
+            bool(np.isfinite(windowed.analysis).all())
+            and bool(np.isfinite(windowed.historic).all())
+            and (windowed.extended.size == 0 or bool(np.isfinite(windowed.extended).all()))
+        )
+        if not finite:
+            if self.metrics is not None:
+                self.metrics.inc("pipeline.quality.non_finite_skips")
+            if trace is not None:
+                trace["change_points"].observe(
+                    False, "non_finite_window", time.perf_counter() - started
+                )
+            return False
+        if self.quality_gate is not None:
+            ok, _ = self.quality_gate.window_ok(
+                series.timestamps_between(
+                    windowed.historic_start, windowed.analysis_start
+                ),
+                int(windowed.analysis.size),
+                windowed.analysis_start,
+                windowed.extended_start,
+            )
+            if not ok:
+                if self.metrics is not None:
+                    self.metrics.inc("pipeline.quality.low_coverage_skips")
+                if trace is not None:
+                    trace["change_points"].observe(
+                        False, "low_quality_window", time.perf_counter() - started
+                    )
+                return False
+        return True
+
     def _oriented(self, values: np.ndarray) -> np.ndarray:
         """Map values so that an increase always means a regression."""
         return values if self.config.higher_is_worse else -values
@@ -419,6 +508,10 @@ class DetectionPipeline:
                 trace["change_points"].observe(
                     False, "insufficient_data", time.perf_counter() - started
                 )
+            return None
+        if not self._window_ok(series, windowed, trace, started):
+            # No full-scan anchor is recorded: bad windows must not
+            # seed the incremental screen.
             return None
 
         oriented_analysis = self._oriented(windowed.analysis)
@@ -565,6 +658,8 @@ class DetectionPipeline:
                 trace["change_points"].observe(
                     False, "insufficient_data", time.perf_counter() - started
                 )
+            return None
+        if not self._window_ok(series, windowed, trace, started):
             return None
         context = MetricContext.from_tags(series.name, series.tags)
         regression = self.long_term_detector.detect(

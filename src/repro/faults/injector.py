@@ -102,6 +102,12 @@ class FaultInjector:
             _SpecState(spec, plan.seed, index)
             for index, spec in enumerate(plan.specs)
         ]
+        # Cached so the per-sample ingest path pays one attribute read,
+        # not a spec scan, when the plan has no data faults (the common
+        # case, and all pre-existing plans).
+        self.has_data_faults = any(
+            spec.site.startswith("data.") for spec in plan.specs
+        )
 
     def wire(self, metrics: Optional[object] = None, events: Optional[object] = None) -> None:
         """Attach the service's metrics registry and event log."""
@@ -153,6 +159,35 @@ class FaultInjector:
         if mutated:
             mutated[len(mutated) // 2] ^= 0xFF
         return bytes(mutated)
+
+    def data_directive(self, shard: Optional[int] = None) -> Optional[FaultKind]:
+        """Sites ``data.corrupt`` / ``data.reorder`` / ``data.gap``.
+
+        One ingested sample is one invocation of the whole data plane:
+        each data-fault spec sees it (counters advance together) and the
+        first firing spec wins — at most one data fault per sample,
+        mirroring :meth:`_fire` across the three sites.
+
+        Returns:
+            The winning :class:`FaultKind` (``DATA_CORRUPT`` /
+            ``DATA_REORDER`` / ``DATA_GAP``) or ``None``.
+        """
+        with self._lock:
+            winner = None
+            for state in self._states:
+                if not state.spec.site.startswith("data."):
+                    continue
+                if state.spec.shard is not None and shard is not None:
+                    if state.spec.shard != shard:
+                        continue
+                if winner is None and state.consider():
+                    winner = state.spec
+                # Later matching specs do not see this sample once a
+                # winner fired: one sample, at most one data fault.
+        if winner is not None:
+            self._record(winner, winner.site, shard)
+            return winner.kind
+        return None
 
     def clock_skew(self) -> float:
         """Site ``clock``: the current wall-clock offset in seconds.

@@ -14,6 +14,14 @@ seasonality — without requiring a physical fleet.
 """
 
 from repro.fleet.changes import ChangeEffect, ChangeLog, CodeChange, CostShift
+from repro.fleet.dirty import (
+    DirtyDataSpec,
+    dirty_stream,
+    drop_gaps,
+    inject_nan_bursts,
+    reorder_within_blocks,
+    rollover_counter,
+)
 from repro.fleet.events import TransientEvent, TransientEventKind
 from repro.fleet.server import Server, ServerGeneration
 from repro.fleet.service import ServiceSpec
@@ -27,6 +35,7 @@ __all__ = [
     "ChangeLog",
     "CodeChange",
     "CostShift",
+    "DirtyDataSpec",
     "FleetSimulator",
     "Server",
     "ServerGeneration",
@@ -35,4 +44,9 @@ __all__ = [
     "SubroutineSpec",
     "TransientEvent",
     "TransientEventKind",
+    "dirty_stream",
+    "drop_gaps",
+    "inject_nan_bursts",
+    "reorder_within_blocks",
+    "rollover_counter",
 ]

@@ -21,6 +21,10 @@ duck-typed like one) on three endpoints:
   plus recent fault/degradation events.  During chaos drills this is
   how an operator tells injected failures from real ones; without an
   injector it reports ``{"enabled": false}``.
+- ``GET /quality`` — the data-quality view: aggregate admission
+  counters, per-shard quarantine snapshots (worst offenders, reason
+  codes, quality scores), and stale-evicted series.  With the quality
+  layer disabled it reports ``{"enabled": false}``.
 
 ``GET /`` returns a small JSON index of the endpoints.  The server runs
 on a daemon thread (one handler thread per request), binds an ephemeral
@@ -76,16 +80,26 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.server.service.status_snapshot())
             elif path == "/faults":
                 self._send_json(200, self._faults_payload())
+            elif path == "/quality":
+                self._send_json(200, self._quality_payload())
             elif path == "/":
                 self._send_json(200, {
                     "service": "repro-fbdetect",
-                    "endpoints": ["/metrics", "/healthz", "/status", "/faults"],
+                    "endpoints": [
+                        "/metrics", "/healthz", "/status", "/faults", "/quality",
+                    ],
                 })
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except Exception as error:  # pragma: no cover - defensive surface
             _log.exception("observability endpoint failed", path=path)
             self._send_json(500, {"error": str(error)})
+
+    def _quality_payload(self) -> dict:
+        service = self.server.service
+        if hasattr(service, "quality_snapshot"):
+            return service.quality_snapshot()
+        return {"enabled": False}
 
     def _faults_payload(self) -> dict:
         service = self.server.service

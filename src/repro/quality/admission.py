@@ -1,0 +1,420 @@
+"""Per-series admission and repair: validators on every write.
+
+The :class:`AdmissionController` sits inside each shard's ingest worker
+(under the worker's queue lock, so it needs no locking of its own) and
+sees every sample before it is queued for the TSDB:
+
+- **Not finite** (NaN/Inf) → quarantined, reason ``not_finite``.
+- **Negative value** on a non-negative metric (gCPU cannot go below
+  zero) → clamped to 0.0 when ``repair_negative`` is on, else
+  quarantined with reason ``negative_value``.
+- **Counter reset** on a counter-typed series (``tags["type"] ==
+  "counter"``): a raw value below the previous raw value means the
+  counter wrapped or the process restarted; the running offset is
+  rebased so the emitted cumulative series stays continuous — the same
+  repair ``rate()`` applies in Prometheus.  Reset detection is only
+  meaningful on timestamp-ordered deltas, so counter series always
+  ride the reordering buffer and are rebased when a sorted batch is
+  released, never at arrival.
+- **Repeated timestamp**: counted; resolved last-write-wins by the
+  TSDB's duplicate policy (or dropped here under the ``reject`` policy).
+- **Out of order**: held in a bounded per-series reordering buffer.
+  In-order samples take a two-comparison fast path straight to the
+  queue; stragglers accumulate sorted and are released as one batch —
+  either when the buffer reaches its bound or at the next flush/advance
+  boundary — so backfill reaches the TSDB as a single merged pass
+  instead of interleaving O(n) single-point inserts with the hot
+  append path.
+
+Admission verdicts are tri-state (:data:`ADMIT` / :data:`HELD` /
+:data:`DROP`); the worker translates them into queue operations and
+return values.  All controller state is plain picklable data and rides
+the shard blob through checkpoints, restores, and parallel advances.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.quality.quarantine import QuarantineStore
+
+__all__ = ["ADMIT", "DROP", "HELD", "QualityConfig", "AdmissionController"]
+
+#: Verdict codes returned by :meth:`AdmissionController.admit`.
+ADMIT = 0  # enqueue the returned (possibly repaired) sample now
+HELD = 1   # accepted but buffered for reordering; nothing to enqueue yet
+DROP = 2   # quarantined; the sample must not reach the TSDB
+
+_INF = float("inf")
+
+#: Metrics that can never be negative; a negative sample is collector
+#: damage, not data.
+DEFAULT_NON_NEGATIVE: FrozenSet[str] = frozenset(
+    {"gcpu", "cpu", "throughput", "latency_ms", "error_rate", "coredumps"}
+)
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Tuning knobs for the admission layer.
+
+    Attributes:
+        reorder_window: Per-series straggler-buffer bound; when more
+            than this many out-of-order points are pending they are
+            released as one backfill batch.
+        quarantine_capacity: Retained quarantined-point records (per
+            shard; see :class:`~repro.quality.quarantine.QuarantineStore`).
+        repair_negative: Clamp negative values on non-negative metrics
+            to 0.0 instead of quarantining them.
+        non_negative_metrics: ``tags["metric"]`` values that may never
+            be negative.
+        duplicate_policy: ``"last_write_wins"`` (repeated timestamps
+            overwrite, matching the TSDB's policy) or ``"reject"``
+            (repeated timestamps are quarantined at admission).
+    """
+
+    reorder_window: int = 16
+    quarantine_capacity: int = 1024
+    repair_negative: bool = True
+    non_negative_metrics: FrozenSet[str] = DEFAULT_NON_NEGATIVE
+    duplicate_policy: str = "last_write_wins"
+
+    def __post_init__(self) -> None:
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be >= 1")
+        if self.duplicate_policy not in ("last_write_wins", "reject"):
+            raise ValueError(
+                f"unknown duplicate_policy {self.duplicate_policy!r}"
+            )
+
+
+class _SeriesState:
+    """Per-series validator state (picklable; slots keep it small)."""
+
+    __slots__ = (
+        "watermark", "pending_ts", "pending", "non_negative", "is_counter",
+        "counter_offset", "last_raw", "admitted", "quarantined",
+    )
+
+    def __init__(self, non_negative: bool, is_counter: bool) -> None:
+        self.watermark = -_INF      # highest timestamp passed to the queue
+        self.pending_ts: List[float] = []   # sorted straggler timestamps
+        self.pending: List[Any] = []        # parallel straggler samples
+        self.non_negative = non_negative
+        self.is_counter = is_counter
+        self.counter_offset = 0.0
+        self.last_raw: Optional[float] = None
+        self.admitted = 0
+        self.quarantined = 0
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+
+class AdmissionController:
+    """Validators + reordering buffer + quarantine for one shard.
+
+    Args:
+        config: Admission tuning (see :class:`QualityConfig`).
+        shard_id: Owning shard, for snapshot labelling only.
+        metrics: Optional registry-like object (``inc(name, n)``).
+            Process-local: dropped on pickle, re-wired by the service.
+            Only *events* (quarantines, repairs, reorders) touch it, so
+            the clean-sample hot path stays registry-free.
+
+    Not thread-safe on its own: every call happens under the owning
+    ingest worker's queue lock.
+    """
+
+    def __init__(
+        self,
+        config: Optional[QualityConfig] = None,
+        shard_id: Optional[int] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self.config = config if config is not None else QualityConfig()
+        self.shard_id = shard_id
+        self.metrics = metrics
+        self.quarantine = QuarantineStore(capacity=self.config.quarantine_capacity)
+        self._series: Dict[str, _SeriesState] = {}
+        # Stragglers whose buffer overflowed, awaiting pickup by the
+        # worker (checked as a cheap truthiness test per offer).
+        self.ready: List[Any] = []
+        # Aggregate counters: plain ints, checkpointed with the shard.
+        # (``admitted`` is derived from per-series counts — see the
+        # property — so the hot path pays one increment, not two.)
+        self.quarantined = 0
+        self.repaired = 0
+        self.counter_resets = 0
+        self.duplicates = 0
+        self.reordered = 0
+        self.buffered = 0  # currently held stragglers across all series
+
+    # -- the admission decision -----------------------------------------
+
+    def admit(self, sample: Any) -> Tuple[int, Optional[Any]]:
+        """Validate one sample.
+
+        Returns:
+            ``(ADMIT, sample)`` — enqueue the returned sample (it may be
+            a repaired copy); ``(HELD, None)`` — accepted but buffered
+            for reordering (check :attr:`ready` for a released batch);
+            ``(DROP, None)`` — quarantined.
+        """
+        try:
+            state = self._series[sample.name]
+        except KeyError:
+            state = self._create_state(sample)
+        value = sample.value
+        # Fast path: finite (the chained comparison is also False for
+        # NaN), sign-valid, non-counter, in-order — the overwhelming
+        # common case costs a handful of comparisons and one increment.
+        if -_INF < value < _INF and not state.is_counter:
+            if value >= 0.0 or not state.non_negative:
+                timestamp = sample.timestamp
+                if timestamp > state.watermark:
+                    state.watermark = timestamp
+                    state.admitted += 1
+                    return ADMIT, sample
+        return self._admit_slow(state, sample)
+
+    def _admit_slow(
+        self, state: _SeriesState, sample: Any
+    ) -> Tuple[int, Optional[Any]]:
+        """Everything that fell off the fast path: validation failures,
+        counters, duplicates, and stragglers."""
+        value = sample.value
+        timestamp = sample.timestamp
+
+        # Validators.  NaN is the only float that is != itself.
+        if value != value or value == _INF or value == -_INF:
+            self._quarantine(state, sample, "not_finite")
+            return DROP, None
+        if value < 0.0 and state.non_negative:
+            if not self.config.repair_negative:
+                self._quarantine(state, sample, "negative_value")
+                return DROP, None
+            sample = replace(sample, value=0.0)
+            self.repaired += 1
+            self._inc("quality.repaired")
+        if state.is_counter:
+            return self._admit_counter(state, sample, timestamp)
+
+        if timestamp > state.watermark:
+            # In order after all (a repaired negative got here).
+            state.watermark = timestamp
+            state.admitted += 1
+            return ADMIT, sample
+        if timestamp == state.watermark:
+            self.duplicates += 1
+            self._inc("quality.duplicates")
+            if self.config.duplicate_policy == "reject":
+                self._quarantine(state, sample, "duplicate_reject")
+                return DROP, None
+            state.admitted += 1
+            return ADMIT, sample  # TSDB resolves last-write-wins in place
+
+        # Straggler: buffer it sorted; release the whole batch when the
+        # buffer overflows (or at the next flush/advance boundary).
+        pos = bisect.bisect_right(state.pending_ts, timestamp)
+        if pos and state.pending_ts[pos - 1] == timestamp:
+            self.duplicates += 1
+            self._inc("quality.duplicates")
+            if self.config.duplicate_policy == "reject":
+                self._quarantine(state, sample, "duplicate_reject")
+                return DROP, None
+            state.pending[pos - 1] = sample  # last write wins in the buffer
+            state.admitted += 1
+            return HELD, None
+        state.pending_ts.insert(pos, timestamp)
+        state.pending.insert(pos, sample)
+        state.admitted += 1
+        self.reordered += 1
+        self.buffered += 1
+        self._inc("quality.reordered")
+        if len(state.pending) > self.config.reorder_window:
+            self.ready.extend(state.pending)
+            self.buffered -= len(state.pending)
+            state.pending = []
+            state.pending_ts = []
+        return HELD, None
+
+    def _admit_counter(
+        self, state: _SeriesState, sample: Any, timestamp: float
+    ) -> Tuple[int, Optional[Any]]:
+        """Counter-series path: every point rides the reordering buffer.
+
+        Reset detection compares consecutive raw values, which is only
+        meaningful on timestamp-ordered deltas — an out-of-order
+        delivery would masquerade as a rollover and corrupt the rebase.
+        So counters are always held sorted and rebased when a batch is
+        *released* (:meth:`_release_counter_batch`), never at arrival.
+        """
+        pos = bisect.bisect_right(state.pending_ts, timestamp)
+        if pos and state.pending_ts[pos - 1] == timestamp:
+            self.duplicates += 1
+            self._inc("quality.duplicates")
+            if self.config.duplicate_policy == "reject":
+                self._quarantine(state, sample, "duplicate_reject")
+                return DROP, None
+            state.pending[pos - 1] = sample  # last write wins in the buffer
+            state.admitted += 1
+            return HELD, None
+        if timestamp <= state.watermark:
+            # Arrived after its ordered slot was already released: the
+            # sequential rebase pass moved on, so apply the offset in
+            # effect without reset detection and let the TSDB backfill.
+            if timestamp == state.watermark:
+                self.duplicates += 1
+                self._inc("quality.duplicates")
+                if self.config.duplicate_policy == "reject":
+                    self._quarantine(state, sample, "duplicate_reject")
+                    return DROP, None
+            else:
+                self.reordered += 1
+                self._inc("quality.reordered")
+            if state.counter_offset:
+                sample = replace(sample, value=sample.value + state.counter_offset)
+            state.admitted += 1
+            return ADMIT, sample
+        if state.pending_ts and timestamp < state.pending_ts[-1]:
+            self.reordered += 1
+            self._inc("quality.reordered")
+        state.pending_ts.insert(pos, timestamp)
+        state.pending.insert(pos, sample)
+        state.admitted += 1
+        self.buffered += 1
+        if len(state.pending) > self.config.reorder_window:
+            self.ready.extend(self._release_counter_batch(state))
+        return HELD, None
+
+    def _release_counter_batch(self, state: _SeriesState) -> List[Any]:
+        """Rebase and release one counter series' sorted pending batch."""
+        batch, state.pending = state.pending, []
+        if not batch:
+            state.pending_ts = []
+            return batch
+        state.watermark = max(state.watermark, state.pending_ts[-1])
+        state.pending_ts = []
+        self.buffered -= len(batch)
+        released: List[Any] = []
+        for sample in batch:
+            raw = sample.value
+            if state.last_raw is not None and raw < state.last_raw:
+                # Reset/rollover: rebase so the cumulative stays continuous.
+                state.counter_offset += state.last_raw
+                self.counter_resets += 1
+                self._inc("quality.counter_resets")
+            state.last_raw = raw
+            if state.counter_offset:
+                sample = replace(sample, value=raw + state.counter_offset)
+            released.append(sample)
+        return released
+
+    def take_ready(self) -> List[Any]:
+        """Remove and return overflowed stragglers awaiting backfill."""
+        ready, self.ready = self.ready, []
+        return ready
+
+    def drain_pending(self) -> List[Any]:
+        """Release *every* held straggler, sorted by timestamp.
+
+        Called at flush/advance boundaries (detection is about to look
+        at the TSDB) and before shard snapshots (held points must travel
+        with the queue they are destined for).
+        """
+        drained: List[Any] = list(self.ready)
+        self.ready = []
+        for state in self._series.values():
+            if state.pending:
+                if state.is_counter:
+                    drained.extend(self._release_counter_batch(state))
+                else:
+                    drained.extend(state.pending)
+                    state.pending = []
+                    state.pending_ts = []
+        self.buffered = 0
+        drained.sort(key=lambda s: s.timestamp)
+        return drained
+
+    # -- operator surface -------------------------------------------------
+
+    def release_series(self, name: str) -> int:
+        """Un-quarantine one series: clear its records and reset its score."""
+        released = self.quarantine.release(name)
+        state = self._series.get(name)
+        if state is not None:
+            state.quarantined = 0
+        return released
+
+    def quality_score(self, name: str) -> Optional[float]:
+        """Fraction of the series' offered points that were admitted."""
+        state = self._series.get(name)
+        if state is None:
+            return None
+        seen = state.admitted + state.quarantined
+        return state.admitted / seen if seen else 1.0
+
+    @property
+    def admitted(self) -> int:
+        """Total admitted samples, derived from the per-series counts
+        (the hot path pays one per-series increment, nothing aggregate)."""
+        return sum(state.admitted for state in self._series.values())
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate admission counters as a plain dict."""
+        return {
+            "admitted": self.admitted,
+            "quarantined": self.quarantined,
+            "repaired": self.repaired,
+            "counter_resets": self.counter_resets,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+            "buffered": self.buffered,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON view for ``/quality`` (one shard's slice)."""
+        scores = {
+            name: round(self.quality_score(name) or 1.0, 6)
+            for name in self.quarantine.series_names()
+        }
+        return {
+            "shard": self.shard_id,
+            "counters": self.counters(),
+            "quarantine": self.quarantine.snapshot(),
+            "scores": scores,
+        }
+
+    # -- internals --------------------------------------------------------
+
+    def _create_state(self, sample: Any) -> _SeriesState:
+        tags = sample.tags
+        state = _SeriesState(
+            non_negative=tags.get("metric") in self.config.non_negative_metrics,
+            is_counter=tags.get("type") == "counter",
+        )
+        self._series[sample.name] = state
+        return state
+
+    def _quarantine(self, state: _SeriesState, sample: Any, reason: str) -> None:
+        self.quarantine.add(sample.name, sample.timestamp, sample.value, reason)
+        state.quarantined += 1
+        self.quarantined += 1
+        self._inc("quality.quarantined")
+        self._inc(f"quality.quarantined.{reason}")
+
+    def _inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["metrics"] = None  # process-local; re-wired by the service
+        return state

@@ -190,6 +190,18 @@ class DetectionScheduler:
         for registration in self._monitors.values():
             registration.detector.invalidate_incremental()
 
+    def stale_series(self) -> List[str]:
+        """Series evicted from scanning for staleness, across monitors.
+
+        Sorted union of every monitor pipeline's
+        :meth:`~repro.core.pipeline.DetectionPipeline.stale_series`
+        (surfaced on the service's ``/quality`` endpoint).
+        """
+        stale: set = set()
+        for registration in self._monitors.values():
+            stale.update(registration.detector.pipeline.stale_series())
+        return sorted(stale)
+
     # ------------------------------------------------------------------
     # Time advancement
     # ------------------------------------------------------------------

@@ -18,6 +18,17 @@ gives:
 Every policy outcome has a counter, both on the worker (plain ints that
 ride along in checkpoints) and in the optional shared
 :class:`~repro.service.metrics.MetricsRegistry`.
+
+When an :class:`~repro.quality.admission.AdmissionController` is
+attached, every offer passes through it first (under the same queue
+lock): quarantined points are dropped before they can reach the TSDB,
+repaired points are enqueued in their repaired form, and out-of-order
+points are held in the controller's reordering buffer — released back
+into the *front* of the queue (they predate everything buffered) when
+the buffer overflows or at a flush/advance boundary, so backfill lands
+as one batched merge.  The controller pickles with the worker, so
+quarantine state and reorder buffers ride checkpoints and parallel
+shard advances like every other counter.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, Iterator, List, Mapping, Optional
 
+from repro.quality.admission import ADMIT, DROP
 from repro.tsdb.database import TimeSeriesDatabase
 
 __all__ = ["Sample", "BackpressurePolicy", "ShardIngestWorker"]
@@ -73,6 +85,9 @@ class ShardIngestWorker:
         fault_injector: Optional :class:`~repro.faults.FaultInjector`
             consulted at the ``ingest.flush`` site before each batch
             write (chaos drills; ``None`` in production).
+        admission: Optional
+            :class:`~repro.quality.admission.AdmissionController` run on
+            every offer (``None`` disables data-quality admission).
 
     Thread-safe: producers may ``offer()`` concurrently with ``flush()``.
     """
@@ -86,6 +101,7 @@ class ShardIngestWorker:
         batch_size: int = 256,
         metrics: Optional[Any] = None,
         fault_injector: Optional[Any] = None,
+        admission: Optional[Any] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -98,6 +114,7 @@ class ShardIngestWorker:
         self.batch_size = batch_size
         self.metrics = metrics
         self.fault_injector = fault_injector
+        self.admission = admission
         self._queue: Deque[Sample] = deque()
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -120,12 +137,24 @@ class ShardIngestWorker:
     def offer(self, sample: Sample) -> bool:
         """Enqueue one sample, applying backpressure when full.
 
+        With an admission controller attached the sample is validated
+        first: quarantined points return ``False`` without touching the
+        queue, out-of-order points are held for reordering (``True`` —
+        they are accepted, just not enqueued yet), and repaired points
+        continue in their repaired form.
+
         Returns:
-            ``True`` when the sample was buffered; ``False`` only under
+            ``True`` when the sample was buffered (or held for
+            reordering); ``False`` when it was quarantined, or under
             the ``REJECT`` policy with a full queue.
         """
         with self._lock:
             self.offered += 1
+            # Backpressure resolves *before* admission: a sample refused
+            # (or evicted for) by a full queue never touches validator
+            # state, so a later retry of the same point is not
+            # misclassified as a duplicate — and refused samples skip
+            # the admission work entirely.
             if len(self._queue) >= self.capacity:
                 if self.policy is BackpressurePolicy.REJECT:
                     self.rejected += 1
@@ -145,6 +174,18 @@ class ShardIngestWorker:
                         self._cond.wait()
                     if len(self._queue) >= self.capacity:
                         self._flush_batch()
+            if self.admission is not None:
+                verdict, admitted = self.admission.admit(sample)
+                if verdict != ADMIT:
+                    if verdict == DROP:
+                        return False
+                    # HELD: buffered in the controller; if holding this
+                    # point overflowed a reorder buffer, the released
+                    # batch backfills at the queue front now.
+                    if self.admission.ready:
+                        self._release_stragglers(self.admission.take_ready())
+                    return True
+                sample = admitted
             self._queue.append(sample)
             self.accepted += 1
             self._inc("ingest.accepted")
@@ -154,6 +195,23 @@ class ShardIngestWorker:
         """Offer each sample; returns how many were accepted."""
         return sum(1 for sample in samples if self.offer(sample))
 
+    def _release_stragglers(self, samples: List[Sample]) -> None:
+        """Move reordered samples into the queue front (lock held).
+
+        Released stragglers predate everything buffered, so they go to
+        the *front* — a later flush writes them in timestamp order and
+        the TSDB merges them in one backfill pass.  They were already
+        admitted, so they bypass the capacity policy (the transient
+        overshoot is bounded by the admission reorder window); they
+        count as accepted here, on actual enqueue.
+        """
+        if not samples:
+            return
+        self._queue.extendleft(reversed(samples))
+        self.accepted += len(samples)
+        if self.metrics is not None:
+            self.metrics.inc("ingest.accepted", len(samples))
+
     @property
     def pending(self) -> int:
         """Samples buffered but not yet flushed."""
@@ -161,8 +219,16 @@ class ShardIngestWorker:
 
     # -- flush side ------------------------------------------------------
 
-    def flush(self) -> int:
+    def flush(self, release_stragglers: bool = True) -> int:
         """Drain the whole queue into the TSDB in ``batch_size`` batches.
+
+        Args:
+            release_stragglers: Also release every sample held in the
+                admission reordering buffer first, so detection sees a
+                fully backfilled TSDB.  Background flushers pass
+                ``False`` — they only bound queue depth, and holding
+                stragglers longer lets the buffer absorb more
+                out-of-order arrivals per backfill merge.
 
         Returns:
             Number of samples written.
@@ -174,6 +240,8 @@ class ShardIngestWorker:
                 # in-flight advance; anything buffered here is carried
                 # over when the advanced state is installed.
                 return 0
+            if release_stragglers and self.admission is not None:
+                self._release_stragglers(self.admission.drain_pending())
             while self._queue:
                 written += self._flush_batch()
         return written
@@ -249,6 +317,12 @@ class ShardIngestWorker:
             accrues (it flushes the snapshot's queue) can be merged.
         """
         with self._lock:
+            # Held stragglers belong with the queue they are destined
+            # for: release them now so the snapshot blob carries them
+            # (the worker-process copy then does no admission work and
+            # all admission counters stay parent-side).
+            if self.admission is not None:
+                self._release_stragglers(self.admission.drain_pending())
             self._advancing = True
             return {
                 "flushed": self.flushed,
@@ -317,8 +391,8 @@ class ShardIngestWorker:
     # -- introspection / pickling ----------------------------------------
 
     def counters(self) -> Dict[str, int]:
-        """Backpressure and flush counters as a plain dict."""
-        return {
+        """Backpressure, flush, and admission counters as a plain dict."""
+        counters = {
             "offered": self.offered,
             "accepted": self.accepted,
             "flushed": self.flushed,
@@ -329,6 +403,10 @@ class ShardIngestWorker:
             "flushes": self.flushes,
             "flush_failures": self.flush_failures,
         }
+        if self.admission is not None:
+            for key, value in self.admission.counters().items():
+                counters[f"quality_{key}"] = value
+        return counters
 
     def _inc(self, name: str) -> None:
         if self.metrics is not None:
@@ -355,6 +433,7 @@ class ShardIngestWorker:
         # Defaults first: blobs pickled by older builds predate these.
         self.flush_failures = 0
         self.fault_injector = None
+        self.admission = None
         self.__dict__.update(state)
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)

@@ -32,13 +32,15 @@ from __future__ import annotations
 import pickle
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import DetectionConfig
 from repro.core.pipeline import FunnelCounters
 from repro.faults import FaultInjector
+from repro.faults.plan import FaultKind
 from repro.core.types import Regression
+from repro.quality import AdmissionController, QualityConfig, QualityGate
 from repro.obs.logging import correlation_id, get_logger, log_context
 from repro.obs.spans import EventLog, FunnelTrace, TraceStore
 from repro.reporting.report import IncidentReport, build_report
@@ -139,9 +141,13 @@ class _Shard:
         retention: float,
         metrics: MetricsRegistry,
         fault_injector: Optional[FaultInjector] = None,
+        quality: Optional[QualityConfig] = None,
     ) -> None:
         self.shard_id = shard_id
         self.database = TimeSeriesDatabase()
+        # Kept so a restore from a pre-quality checkpoint (whose worker
+        # blob has no admission controller) can be given a fresh one.
+        self._quality_config = quality
         self.worker = ShardIngestWorker(
             shard_id,
             self.database,
@@ -150,6 +156,11 @@ class _Shard:
             batch_size=batch_size,
             metrics=metrics,
             fault_injector=fault_injector,
+            admission=(
+                AdmissionController(quality, shard_id=shard_id, metrics=metrics)
+                if quality is not None
+                else None
+            ),
         )
         self.scheduler = DetectionScheduler(
             self.database,
@@ -204,6 +215,14 @@ class _Shard:
         # Rewire process-local observability state (dropped on pickle).
         self.worker.metrics = metrics
         self.worker.fault_injector = fault_injector
+        if self.worker.admission is not None:
+            self.worker.admission.metrics = metrics
+        elif self._quality_config is not None:
+            # Pre-quality checkpoint blob: admission starts fresh (there
+            # is no quarantine history to carry).
+            self.worker.admission = AdmissionController(
+                self._quality_config, shard_id=self.shard_id, metrics=metrics
+            )
         self.scheduler.wire_metrics(metrics)
         self.scheduler.wire_tracer(tracer)
         if drop_derived:
@@ -300,6 +319,14 @@ class StreamingDetectionService:
             retries).
         checkpoint_generations: Checkpoint generations retained on disk;
             restore falls back to the newest intact one.
+        quality: Data-quality admission configuration (see
+            :class:`~repro.quality.admission.QualityConfig`).  On by
+            default: every shard runs per-series validators on ingest
+            (NaN/Inf quarantine, negative-value repair, counter-reset
+            rebasing, duplicate handling, out-of-order reordering) and
+            monitors default to a gap-aware
+            :class:`~repro.quality.gaps.QualityGate`.  Pass ``None`` to
+            disable the whole layer (raw writes, gap-blind scans).
 
     Example::
 
@@ -331,6 +358,7 @@ class StreamingDetectionService:
         advance_backoff: float = 0.05,
         advance_deadline: Optional[float] = None,
         checkpoint_generations: int = 3,
+        quality: Optional[QualityConfig] = QualityConfig(),
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -361,6 +389,7 @@ class StreamingDetectionService:
         self.router = ConsistentHashRouter(range(n_shards), replicas=replicas)
         self.routing_key = routing_key or (lambda sample: sample.name)
         self.realert_tolerance = realert_tolerance
+        self.quality = quality
         self._shards: Dict[int, _Shard] = {
             shard_id: _Shard(
                 shard_id,
@@ -371,9 +400,14 @@ class StreamingDetectionService:
                 retention=retention,
                 metrics=self.metrics,
                 fault_injector=fault_injector,
+                quality=quality,
             )
             for shard_id in range(n_shards)
         }
+        # Samples a data.reorder fault is holding back (delivered late,
+        # behind the next sample of their series).
+        self._data_held: Dict[str, Sample] = {}
+        self._data_lock = threading.Lock()
         self._clock = 0.0
         self._reported_ledger: Dict[str, List[float]] = {}
         self._suppressed_realerts = 0
@@ -450,6 +484,58 @@ class StreamingDetectionService:
             return None
         return self.fault_injector.snapshot()
 
+    def quality_snapshot(self) -> dict:
+        """Data-quality view across shards (the ``/quality`` payload).
+
+        Aggregate admission counters, per-shard quarantine snapshots
+        (worst offenders with reason codes and quality scores), and the
+        series currently evicted from scanning for staleness.  See
+        docs/RUNBOOK.md for the triage workflow.
+        """
+        shards = []
+        totals: Dict[str, int] = {}
+        stale: set = set()
+        for shard in self._shards.values():
+            admission = shard.worker.admission
+            if admission is not None:
+                snap = admission.snapshot()
+                shards.append(snap)
+                for key, value in snap["counters"].items():
+                    totals[key] = totals.get(key, 0) + value
+            stale.update(shard.scheduler.stale_series())
+        return {
+            "enabled": bool(shards),
+            "counters": totals,
+            # Current attribution (drops when a series is released),
+            # unlike counters["quarantined"] which is cumulative.
+            "quarantined_points": sum(
+                snap["quarantine"]["total"] for snap in shards
+            ),
+            "stale_series": sorted(stale),
+            "shards": shards,
+        }
+
+    def unquarantine(self, name: str) -> int:
+        """Release one series from quarantine on every shard.
+
+        Clears its quarantine records and resets its quality score —
+        the operator acknowledgement that the upstream data source was
+        fixed (the points themselves were irreparable and stay gone).
+
+        Returns:
+            How many quarantined points were attributed to the series.
+        """
+        released = 0
+        for shard in self._shards.values():
+            admission = shard.worker.admission
+            if admission is not None:
+                released += admission.release_series(name)
+        if released:
+            self.metrics.inc("quality.released", released)
+            self.events.record("series_unquarantined", series=name, points=released)
+            _log.info("series unquarantined", series=name, points=released)
+        return released
+
     def register_monitor(
         self,
         name: str,
@@ -470,6 +556,12 @@ class StreamingDetectionService:
         """
         detector_kwargs.setdefault("incremental", True)
         detector_kwargs.setdefault("tracer", self.traces)
+        # Gap-aware scanning rides the quality layer: low-coverage
+        # windows are suppressed and stale series evicted (pass
+        # ``quality_gate=None`` to opt a monitor out).
+        detector_kwargs.setdefault(
+            "quality_gate", QualityGate() if self.quality is not None else None
+        )
         for shard in self._shards.values():
             shard.scheduler.register(
                 name,
@@ -504,8 +596,57 @@ class StreamingDetectionService:
         return self.ingest_sample(Sample(name, timestamp, value, tags or {}))
 
     def ingest_sample(self, sample: Sample) -> bool:
+        if self.fault_injector is not None and self.fault_injector.has_data_faults:
+            return self._ingest_with_data_faults(sample)
+        return self._offer_routed(sample)
+
+    def _offer_routed(self, sample: Sample) -> bool:
         shard_id = self.router.shard_for(self.routing_key(sample))
         return self._shards[shard_id].worker.offer(sample)
+
+    def _ingest_with_data_faults(self, sample: Sample) -> bool:
+        """Apply a pending data-fault directive to one ingested sample.
+
+        ``data.gap`` drops the sample before admission (a host restart
+        losing it); ``data.corrupt`` replaces its value with NaN (a
+        collector emitting garbage); ``data.reorder`` holds it back
+        until the *next* sample of its series arrives, so it is
+        delivered late and out of order (a clock-skewed host shipping a
+        delayed batch).  All three exercise the admission layer exactly
+        the way production dirt would.
+        """
+        directive = self.fault_injector.data_directive()
+        if directive is FaultKind.DATA_GAP:
+            return False
+        if directive is FaultKind.DATA_CORRUPT:
+            sample = dataclass_replace(sample, value=float("nan"))
+        with self._data_lock:
+            if directive is FaultKind.DATA_REORDER:
+                held = self._data_held.pop(sample.name, None)
+                self._data_held[sample.name] = sample
+            else:
+                held = self._data_held.pop(sample.name, None)
+        if directive is FaultKind.DATA_REORDER:
+            # A previously held sample (if any) is displaced and
+            # delivered now — already out of order behind this one's
+            # predecessors.
+            if held is not None:
+                self._offer_routed(held)
+            return True
+        accepted = self._offer_routed(sample)
+        if held is not None:
+            self._offer_routed(held)  # the late, out-of-order arrival
+        return accepted
+
+    def _release_data_held(self) -> None:
+        """Deliver every reorder-held sample (advance/flush boundary)."""
+        if self.fault_injector is None or not self.fault_injector.has_data_faults:
+            return
+        with self._data_lock:
+            held = list(self._data_held.values())
+            self._data_held.clear()
+        for sample in held:
+            self._offer_routed(sample)
 
     def ingest_many(self, samples: Sequence[Sample]) -> int:
         """Offer each sample; returns how many were accepted."""
@@ -513,6 +654,7 @@ class StreamingDetectionService:
 
     def flush(self) -> int:
         """Drain every shard queue into its TSDB; returns samples written."""
+        self._release_data_held()
         return sum(shard.worker.flush() for shard in self._shards.values())
 
     # ------------------------------------------------------------------
@@ -536,6 +678,7 @@ class StreamingDetectionService:
             The incident reports delivered to sinks by this call.
         """
         delivered: List[IncidentReport] = []
+        self._release_data_held()
         with self.metrics.timer("service.advance_seconds"):
             if self._executor is not None and self.n_shards > 1:
                 self._advance_parallel(target, delivered)

@@ -19,18 +19,32 @@ class TimeSeries:
     time, matching how monitoring pipelines ingest data.  Out-of-order
     inserts go through :meth:`insert`, which keeps the arrays sorted.
 
+    Repeated timestamps resolve by ``duplicate_policy``:
+    ``"last_write_wins"`` (default) overwrites the existing value in
+    place — a point is an observation, and the latest observation for
+    an instant supersedes earlier ones; ``"reject"`` raises
+    ``ValueError`` instead, for callers that treat a repeat as data
+    corruption.  Either way the series never holds two points with the
+    same timestamp, so window sizes equal covered time.
+
     Attributes:
         name: Fully qualified metric name, e.g.
             ``"frontfaas.render_feed.gcpu"``.
         tags: Free-form key/value metadata (service, metric type,
             subroutine, endpoint ...), used by the pipeline to route
             series to detectors.
+        duplicate_policy: ``"last_write_wins"`` or ``"reject"``.
     """
 
     name: str
     tags: Dict[str, str] = field(default_factory=dict)
+    duplicate_policy: str = "last_write_wins"
     _timestamps: List[float] = field(default_factory=list, repr=False)
     _values: List[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.duplicate_policy not in ("last_write_wins", "reject"):
+            raise ValueError(f"unknown duplicate_policy {self.duplicate_policy!r}")
 
     def __len__(self) -> int:
         return len(self._timestamps)
@@ -41,14 +55,23 @@ class TimeSeries:
     def append(self, timestamp: float, value: float) -> None:
         """Append a point; ``timestamp`` must be >= the last timestamp.
 
+        A timestamp equal to the last resolves by ``duplicate_policy``.
+
         Raises:
-            ValueError: On an out-of-order timestamp (use :meth:`insert`).
+            ValueError: On an out-of-order timestamp (use :meth:`insert`),
+                or on a repeated one under the ``reject`` policy.
         """
-        if self._timestamps and timestamp < self._timestamps[-1]:
-            raise ValueError(
-                f"out-of-order append at {timestamp} < {self._timestamps[-1]}; "
-                "use insert() for backfill"
-            )
+        if self._timestamps:
+            last = self._timestamps[-1]
+            if timestamp < last:
+                raise ValueError(
+                    f"out-of-order append at {timestamp} < {last}; "
+                    "use insert() for backfill"
+                )
+            if timestamp == last:
+                self._resolve_duplicate(timestamp)
+                self._values[-1] = float(value)
+                return
         self._timestamps.append(float(timestamp))
         self._values.append(float(value))
 
@@ -58,8 +81,19 @@ class TimeSeries:
             self.append(timestamp, value)
 
     def insert(self, timestamp: float, value: float) -> None:
-        """Insert a point keeping timestamp order (O(n) backfill path)."""
+        """Insert one point keeping timestamp order.
+
+        Bisect finds the position in O(log n); an existing point at the
+        same timestamp resolves by ``duplicate_policy`` (last-write-wins
+        overwrites in place, no shifting).  For *batches* of stragglers
+        prefer :meth:`ingest_many`, which merges them in one O(n + m)
+        pass instead of m O(n) list inserts.
+        """
         pos = bisect.bisect_right(self._timestamps, timestamp)
+        if pos and self._timestamps[pos - 1] == timestamp:
+            self._resolve_duplicate(timestamp)
+            self._values[pos - 1] = float(value)
+            return
         self._timestamps.insert(pos, float(timestamp))
         self._values.insert(pos, float(value))
 
@@ -67,25 +101,81 @@ class TimeSeries:
         """Bulk-append ``points``, tolerating stragglers.
 
         The streaming ingest path: in-order points take the append fast
-        path; out-of-order ones (late arrivals from concurrent
-        producers) fall back to a sorted insert instead of raising.
+        path; out-of-order ones (late arrivals from concurrent producers
+        or a reordering buffer) are collected and merged into place in a
+        single sorted O(n + m) pass at the end, instead of paying an
+        O(n) list insert per straggler.
 
         Returns:
-            Number of points written.
+            Number of points written (last-write-wins overwrites count —
+            every accepted point is accounted for).
         """
         timestamps, values = self._timestamps, self._values
         last = timestamps[-1] if timestamps else float("-inf")
         written = 0
+        stragglers: List[Tuple[float, float]] = []
         for timestamp, value in points:
             timestamp = float(timestamp)
-            if timestamp >= last:
+            if timestamp > last:
                 timestamps.append(timestamp)
                 values.append(float(value))
                 last = timestamp
+            elif timestamp == last:
+                self._resolve_duplicate(timestamp)
+                values[-1] = float(value)
             else:
-                self.insert(timestamp, value)
+                stragglers.append((timestamp, float(value)))
             written += 1
+        if stragglers:
+            self._merge_backfill(stragglers)
         return written
+
+    def _resolve_duplicate(self, timestamp: float) -> None:
+        """Raise under the ``reject`` policy; no-op under last-write-wins."""
+        if self.duplicate_policy == "reject":
+            raise ValueError(
+                f"duplicate timestamp {timestamp} on {self.name!r} "
+                "(duplicate_policy='reject')"
+            )
+
+    def _merge_backfill(self, points: List[Tuple[float, float]]) -> None:
+        """Merge out-of-order ``points`` into the series in O(n + m).
+
+        ``points`` may be unsorted and may repeat timestamps present in
+        the series or among themselves; repeats resolve by
+        ``duplicate_policy`` (for last-write-wins, arrival order within
+        ``points`` is preserved by the stable sort, so the latest
+        arrival wins).
+        """
+        points.sort(key=lambda point: point[0])
+        old_ts, old_vals = self._timestamps, self._values
+        merged_ts: List[float] = []
+        merged_vals: List[float] = []
+
+        def emit(timestamp: float, value: float) -> None:
+            if merged_ts and merged_ts[-1] == timestamp:
+                self._resolve_duplicate(timestamp)
+                merged_vals[-1] = value
+                return
+            merged_ts.append(timestamp)
+            merged_vals.append(value)
+
+        i = j = 0
+        while i < len(old_ts) and j < len(points):
+            if points[j][0] < old_ts[i]:
+                emit(*points[j])
+                j += 1
+            else:
+                emit(old_ts[i], old_vals[i])
+                i += 1
+        while i < len(old_ts):
+            emit(old_ts[i], old_vals[i])
+            i += 1
+        while j < len(points):
+            emit(*points[j])
+            j += 1
+        self._timestamps = merged_ts
+        self._values = merged_vals
 
     def latest(self) -> Optional[Tuple[float, float]]:
         """The most recent ``(timestamp, value)`` point, if any."""
@@ -132,7 +222,9 @@ class TimeSeries:
         """Sub-series with timestamps in ``[start, end)``."""
         lo = bisect.bisect_left(self._timestamps, start)
         hi = bisect.bisect_left(self._timestamps, end)
-        sub = TimeSeries(name=self.name, tags=dict(self.tags))
+        sub = TimeSeries(
+            name=self.name, tags=dict(self.tags), duplicate_policy=self.duplicate_policy
+        )
         sub._timestamps = self._timestamps[lo:hi]
         sub._values = self._values[lo:hi]
         return sub
@@ -142,6 +234,12 @@ class TimeSeries:
         lo = bisect.bisect_left(self._timestamps, start)
         hi = bisect.bisect_left(self._timestamps, end)
         return np.asarray(self._values[lo:hi], dtype=float)
+
+    def timestamps_between(self, start: float, end: float) -> np.ndarray:
+        """Timestamps falling in ``[start, end)`` (for coverage checks)."""
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_left(self._timestamps, end)
+        return np.asarray(self._timestamps[lo:hi], dtype=float)
 
     def as_mapping(self) -> Mapping[float, float]:
         """The series as a ``{timestamp: value}`` dict (for alignment)."""

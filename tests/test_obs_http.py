@@ -186,6 +186,7 @@ class TestStatusEndpoint:
             "/healthz",
             "/status",
             "/faults",
+            "/quality",
         }
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server.url + "/nope")

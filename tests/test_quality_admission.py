@@ -1,0 +1,295 @@
+"""Tests for repro.quality (admission validators, quarantine, scores)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.quality import (
+    ADMIT,
+    DROP,
+    HELD,
+    AdmissionController,
+    QualityConfig,
+    QuarantineStore,
+    REASONS,
+)
+from repro.service import Sample
+
+
+def make(name="s.gcpu", ts=0.0, value=1.0, tags=None):
+    return Sample(name, ts, value, tags if tags is not None else {"metric": "gcpu"})
+
+
+def controller(**kwargs):
+    return AdmissionController(QualityConfig(**kwargs), shard_id=0)
+
+
+class TestValidators:
+    def test_clean_in_order_samples_admit_unchanged(self):
+        ctl = controller()
+        for tick in range(5):
+            verdict, sample = ctl.admit(make(ts=float(tick), value=0.5))
+            assert verdict == ADMIT
+            assert sample.value == 0.5
+        assert ctl.counters() == {
+            "admitted": 5, "quarantined": 0, "repaired": 0,
+            "counter_resets": 0, "duplicates": 0, "reordered": 0,
+            "buffered": 0,
+        }
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_is_quarantined(self, bad):
+        ctl = controller()
+        verdict, sample = ctl.admit(make(ts=1.0, value=bad))
+        assert verdict == DROP and sample is None
+        assert ctl.quarantined == 1
+        assert ctl.quarantine.reasons("s.gcpu")["not_finite"] == 1
+
+    def test_negative_gcpu_repaired_to_zero(self):
+        ctl = controller()
+        verdict, sample = ctl.admit(make(ts=1.0, value=-0.25))
+        assert verdict == ADMIT
+        assert sample.value == 0.0
+        assert ctl.repaired == 1 and ctl.quarantined == 0
+
+    def test_negative_without_repair_is_quarantined(self):
+        ctl = controller(repair_negative=False)
+        verdict, _ = ctl.admit(make(ts=1.0, value=-0.25))
+        assert verdict == DROP
+        assert ctl.quarantine.reasons("s.gcpu")["negative_value"] == 1
+
+    def test_negative_on_unknown_metric_passes_through(self):
+        ctl = controller()
+        verdict, sample = ctl.admit(
+            make(ts=1.0, value=-3.0, tags={"metric": "temperature_delta"})
+        )
+        assert verdict == ADMIT
+        assert sample.value == -3.0
+        assert ctl.repaired == 0
+
+    def test_counter_reset_rebases_cumulative(self):
+        ctl = controller()
+        tags = {"metric": "gcpu", "type": "counter"}
+        values = [10.0, 20.0, 30.0, 5.0, 9.0]  # restart after 30
+        for tick, value in enumerate(values):
+            verdict, none = ctl.admit(
+                make("c.count", ts=float(tick), value=value, tags=tags)
+            )
+            # Counters always ride the buffer: rebased on release.
+            assert verdict == HELD and none is None
+        released = ctl.drain_pending()
+        assert [s.value for s in released] == [10.0, 20.0, 30.0, 35.0, 39.0]
+        assert ctl.counter_resets == 1
+
+    def test_double_reset_accumulates_offset(self):
+        ctl = controller()
+        tags = {"type": "counter"}
+        for index, value in enumerate([5.0, 2.0, 4.0, 1.0]):
+            assert ctl.admit(make("c", ts=float(index), value=value,
+                                  tags=tags))[0] == HELD
+        # offsets: +5 at the first drop, +4 (raw) more at the second.
+        assert [s.value for s in ctl.drain_pending()] == [5.0, 7.0, 9.0, 10.0]
+        assert ctl.counter_resets == 2
+
+    def test_out_of_order_counter_does_not_fake_resets(self):
+        """A locally shuffled monotone counter must come out exactly as
+        delivered in order — no spurious rollover rebasing."""
+        ctl = controller(reorder_window=8)
+        tags = {"type": "counter"}
+        order = [2, 0, 1, 4, 3, 5, 7, 6]
+        for tick in order:
+            assert ctl.admit(
+                make("c", ts=float(tick), value=float(10 * tick), tags=tags)
+            )[0] == HELD
+        released = ctl.drain_pending()
+        assert [(s.timestamp, s.value) for s in released] == [
+            (float(t), float(10 * t)) for t in range(8)
+        ]
+        assert ctl.counter_resets == 0
+
+    def test_counter_rollover_under_reordering_reconstructs_exactly(self):
+        ctl = controller(reorder_window=8)
+        tags = {"type": "counter"}
+        clean = [float(7 * (t + 1)) for t in range(10)]
+        raw = clean[:5] + [v - clean[4] for v in clean[5:]]  # restart at 5
+        order = [0, 2, 1, 3, 4, 6, 5, 7, 9, 8]  # local shuffle
+        out = []
+        for tick in order:
+            verdict, sample = ctl.admit(
+                make("c", ts=float(tick), value=raw[tick], tags=tags)
+            )
+            if verdict == ADMIT:  # released past its batch: direct admit
+                out.append(sample)
+            out.extend(ctl.take_ready())
+        out.extend(ctl.drain_pending())
+        out.sort(key=lambda s: s.timestamp)
+        assert [s.value for s in out] == clean
+        assert ctl.counter_resets == 1
+
+    def test_counter_buffer_overflow_releases_rebased_batch(self):
+        ctl = controller(reorder_window=3)
+        tags = {"type": "counter"}
+        for tick in range(4):  # fourth point overflows the window
+            ctl.admit(make("c", ts=float(tick), value=float(tick), tags=tags))
+        batch = ctl.take_ready()
+        assert [s.value for s in batch] == [0.0, 1.0, 2.0, 3.0]
+        assert ctl.buffered == 0
+
+    def test_counter_straggler_past_release_admits_with_offset(self):
+        ctl = controller(reorder_window=2)
+        tags = {"type": "counter"}
+        for tick, value in [(0, 10.0), (1, 20.0), (2, 2.0)]:
+            ctl.admit(make("c", ts=float(tick), value=value, tags=tags))
+        ctl.take_ready()  # released: watermark now 2.0, offset 20.0
+        verdict, sample = ctl.admit(
+            make("c", ts=1.5, value=21.0, tags=tags)
+        )
+        # Too late for the ordered pass: current offset, straight admit.
+        assert verdict == ADMIT
+        assert sample.value == 41.0
+
+
+class TestOrdering:
+    def test_duplicate_timestamp_lww_admits(self):
+        ctl = controller()
+        assert ctl.admit(make(ts=1.0, value=1.0))[0] == ADMIT
+        verdict, sample = ctl.admit(make(ts=1.0, value=2.0))
+        assert verdict == ADMIT and sample.value == 2.0
+        assert ctl.duplicates == 1
+
+    def test_duplicate_timestamp_reject_quarantines(self):
+        ctl = controller(duplicate_policy="reject")
+        assert ctl.admit(make(ts=1.0, value=1.0))[0] == ADMIT
+        assert ctl.admit(make(ts=1.0, value=2.0))[0] == DROP
+        assert ctl.quarantine.reasons("s.gcpu")["duplicate_reject"] == 1
+
+    def test_stragglers_buffer_and_release_on_overflow(self):
+        ctl = controller(reorder_window=3)
+        assert ctl.admit(make(ts=10.0))[0] == ADMIT
+        for ts in (3.0, 1.0, 2.0):
+            verdict, none = ctl.admit(make(ts=ts))
+            assert verdict == HELD and none is None
+            assert not ctl.ready
+        assert ctl.buffered == 3
+        # Fourth straggler overflows the window: whole batch released.
+        assert ctl.admit(make(ts=4.0))[0] == HELD
+        batch = ctl.take_ready()
+        assert [s.timestamp for s in batch] == [1.0, 2.0, 3.0, 4.0]
+        assert ctl.buffered == 0 and ctl.reordered == 4
+
+    def test_drain_pending_merges_across_series(self):
+        ctl = controller()
+        ctl.admit(make("a", ts=10.0))
+        ctl.admit(make("b", ts=10.0))
+        ctl.admit(make("a", ts=2.0))
+        ctl.admit(make("b", ts=1.0))
+        ctl.admit(make("a", ts=3.0))
+        drained = ctl.drain_pending()
+        assert [(s.name, s.timestamp) for s in drained] == [
+            ("b", 1.0), ("a", 2.0), ("a", 3.0),
+        ]
+        assert ctl.buffered == 0
+        assert ctl.drain_pending() == []
+
+    def test_duplicate_inside_buffer_last_write_wins(self):
+        ctl = controller()
+        ctl.admit(make(ts=10.0))
+        ctl.admit(make(ts=2.0, value=1.0))
+        verdict, _ = ctl.admit(make(ts=2.0, value=9.0))
+        assert verdict == HELD
+        drained = ctl.drain_pending()
+        assert [(s.timestamp, s.value) for s in drained] == [(2.0, 9.0)]
+        assert ctl.duplicates == 1
+
+
+class TestOperatorSurface:
+    def test_quality_score_tracks_quarantines(self):
+        ctl = controller()
+        assert ctl.quality_score("s.gcpu") is None
+        ctl.admit(make(ts=1.0, value=0.5))
+        ctl.admit(make(ts=2.0, value=math.nan))
+        ctl.admit(make(ts=3.0, value=0.5))
+        assert ctl.quality_score("s.gcpu") == pytest.approx(2 / 3)
+
+    def test_release_series_clears_quarantine(self):
+        ctl = controller()
+        ctl.admit(make(ts=1.0, value=math.nan))
+        ctl.admit(make(ts=2.0, value=math.nan))
+        assert ctl.release_series("s.gcpu") == 2
+        assert ctl.quarantine.count("s.gcpu") == 0
+        assert ctl.quality_score("s.gcpu") == 1.0
+        assert ctl.release_series("s.gcpu") == 0
+
+    def test_snapshot_shape(self):
+        ctl = controller()
+        ctl.admit(make(ts=1.0, value=math.nan))
+        snapshot = ctl.snapshot()
+        assert snapshot["shard"] == 0
+        assert snapshot["counters"]["quarantined"] == 1
+        assert snapshot["quarantine"]["total"] == 1
+        assert "s.gcpu" in snapshot["scores"]
+
+    def test_metrics_events_only(self):
+        class Registry:
+            def __init__(self):
+                self.counts = {}
+
+            def inc(self, name, n=1):
+                self.counts[name] = self.counts.get(name, 0) + n
+
+        registry = Registry()
+        ctl = AdmissionController(QualityConfig(), shard_id=0, metrics=registry)
+        ctl.admit(make(ts=1.0, value=0.5))   # clean: no registry traffic
+        assert registry.counts == {}
+        ctl.admit(make(ts=2.0, value=math.nan))
+        assert registry.counts == {
+            "quality.quarantined": 1,
+            "quality.quarantined.not_finite": 1,
+        }
+
+
+class TestPickling:
+    def test_round_trip_preserves_state_and_drops_metrics(self):
+        class Registry:
+            def inc(self, name, n=1):
+                pass
+
+        ctl = AdmissionController(QualityConfig(), shard_id=3, metrics=Registry())
+        ctl.admit(make(ts=5.0))
+        ctl.admit(make(ts=1.0))           # held straggler
+        ctl.admit(make(ts=6.0, value=math.nan))
+        clone = pickle.loads(pickle.dumps(ctl))
+        assert clone.metrics is None
+        assert clone.counters() == ctl.counters()
+        assert clone.quarantine.total == 1
+        assert [s.timestamp for s in clone.drain_pending()] == [1.0]
+        # Watermark survives: the old straggler is still a straggler.
+        assert clone.admit(make(ts=2.0))[0] == HELD
+
+
+class TestQuarantineStore:
+    def test_capacity_evicts_records_not_counts(self):
+        store = QuarantineStore(capacity=2)
+        for index in range(5):
+            store.add("s", float(index), math.nan, "not_finite")
+        assert store.total == 5
+        assert store.evicted == 3
+        assert store.count("s") == 5
+        assert len(store.snapshot()["recent"]) == 2
+
+    def test_unknown_reason_rejected(self):
+        store = QuarantineStore()
+        with pytest.raises(ValueError):
+            store.add("s", 0.0, 1.0, "because")
+
+    def test_reasons_is_closed_vocabulary(self):
+        assert REASONS == ("not_finite", "negative_value", "duplicate_reject")
+
+
+class TestQualityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QualityConfig(reorder_window=0)
+        with pytest.raises(ValueError):
+            QualityConfig(duplicate_policy="first_write_wins")

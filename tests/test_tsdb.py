@@ -20,17 +20,60 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             series.append(5.0, 2.0)
 
-    def test_equal_timestamp_append_ok(self):
+    def test_equal_timestamp_last_write_wins(self):
         series = TimeSeries("s")
         series.append(1.0, 1.0)
         series.append(1.0, 2.0)
-        assert len(series) == 2
+        assert len(series) == 1
+        assert list(series) == [(1.0, 2.0)]
+
+    def test_equal_timestamp_reject_policy_raises(self):
+        series = TimeSeries("s", duplicate_policy="reject")
+        series.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 2.0)
+        with pytest.raises(ValueError):
+            series.insert(1.0, 3.0)
+        assert list(series) == [(1.0, 1.0)]
+
+    def test_unknown_duplicate_policy_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s", duplicate_policy="first_write_wins")
 
     def test_insert_keeps_order(self):
         series = TimeSeries("s")
         series.extend([(0.0, 0.0), (2.0, 2.0)])
         series.insert(1.0, 1.0)
         assert list(series.timestamps) == [0.0, 1.0, 2.0]
+
+    def test_insert_duplicate_overwrites_in_place(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        series.insert(1.0, 9.0)
+        assert list(series.timestamps) == [0.0, 1.0, 2.0]
+        assert list(series.values) == [0.0, 9.0, 2.0]
+
+    def test_ingest_many_merges_stragglers_sorted(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 0.0), (4.0, 4.0), (8.0, 8.0)])
+        written = series.ingest_many(
+            [(10.0, 10.0), (2.0, 2.0), (6.0, 6.0), (1.0, 1.0), (12.0, 12.0)]
+        )
+        assert written == 5
+        assert list(series.timestamps) == [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+        assert list(series.values) == list(series.timestamps)
+
+    def test_ingest_many_duplicate_stragglers_last_write_wins(self):
+        series = TimeSeries("s")
+        series.extend([(0.0, 0.0), (4.0, 4.0)])
+        series.ingest_many([(4.0, 40.0), (2.0, 2.0), (2.0, 20.0), (0.0, -1.0)])
+        assert list(series.timestamps) == [0.0, 2.0, 4.0]
+        assert list(series.values) == [-1.0, 20.0, 40.0]
+
+    def test_timestamps_between(self):
+        series = TimeSeries("s")
+        series.extend([(float(i), 0.0) for i in range(10)])
+        assert list(series.timestamps_between(2.0, 5.0)) == [2.0, 3.0, 4.0]
 
     def test_between_half_open(self):
         series = TimeSeries("s")
