@@ -8,9 +8,9 @@ the origin — low on both axes simultaneously — because the went-away
 detector disarms the transients that force EGADS's tradeoff.
 """
 
-import numpy as np
 import pytest
 
+from _corpus import fig8_corpus
 from _harness import bench_config, confusion, detect_window, emit, window_pairs
 from repro.baselines import (
     AdaptiveKernelDensityModel,
@@ -18,47 +18,13 @@ from repro.baselines import (
     KSigmaModel,
     sweep_tradeoff,
 )
-from repro.workloads import WindowKind, generate_labeled_window
-
-N_POSITIVE = 25
-N_CLEAN = 40
-N_TRANSIENT = 40
-N_SEASONAL = 15
-N_WOBBLE = 45
-N_DRIFT = 15
-BASE = 0.001
 
 
 @pytest.fixture(scope="module")
 def corpus():
-    # Mirrors the paper's test set construction: the 107 positives were
-    # series where FBDetect *reported* regressions, i.e. magnitudes above
-    # its detectability floor — so positives here sample the detectable
-    # range (5%-200% of baseline).  Negatives include the messy-but-
-    # benign structure production series carry (long transients,
-    # autocorrelated wobble, recovering drift) — the structure that
-    # forces window-level detectors into the FP/FN tradeoff.
-    rng = np.random.default_rng(88)
-    windows = []
-    for _ in range(N_POSITIVE):
-        relative = float(np.exp(rng.uniform(np.log(0.05), np.log(2.0))))
-        windows.append(
-            generate_labeled_window(
-                WindowKind.REGRESSION, rng, noise_fraction=0.02,
-                magnitude=BASE * relative,
-            )
-        )
-    composition = (
-        (WindowKind.CLEAN, N_CLEAN),
-        (WindowKind.TRANSIENT, N_TRANSIENT),
-        (WindowKind.SEASONAL, N_SEASONAL),
-        (WindowKind.WOBBLE, N_WOBBLE),
-        (WindowKind.DRIFT, N_DRIFT),
-    )
-    for kind, count in composition:
-        for _ in range(count):
-            windows.append(generate_labeled_window(kind, rng, noise_fraction=0.02))
-    return windows
+    # Shared with bench_detector_scorecard.py so the Figure 8 point and
+    # the registry scorecard are measured against the same distribution.
+    return fig8_corpus()
 
 
 @pytest.fixture(scope="module")

@@ -206,7 +206,7 @@ def _scan_values(seed=7, series=PAR_SERIES):
     return {name: rng.normal(0.001, 0.00002, HIST_TICKS) for name in series}
 
 
-def _build_scan_service(workers, incremental, config=None):
+def _build_scan_service(workers, incremental, config=None, shadow=None):
     service = StreamingDetectionService(
         n_shards=8,
         workers=workers,
@@ -218,6 +218,7 @@ def _build_scan_service(workers, incremental, config=None):
         "gcpu", config if config is not None else scan_config(),
         series_filter={"metric": "gcpu"},
         incremental=incremental,
+        shadow=shadow,
     )
     return service
 
@@ -363,6 +364,88 @@ def test_observability_overhead_within_bounds(capsys):
     rows.append(f"span-tracing overhead: {overhead:+.1%} (target <= 5%)")
     emit("Observability overhead (funnel spans on the scan hot path)", rows)
     assert elapsed_by_mode["traced"] <= elapsed_by_mode["plain"] * 1.25
+
+
+def test_shadow_detector_overhead_within_bounds(capsys):
+    """One shadow challenger must not dent burst-ingest goodput.
+
+    The full service workload — bursty ingest with the gcpu monitor
+    scanning on its rerun cadence between bursts — with a ``mad``
+    challenger registered vs. none.  Challengers score only full
+    (cache-miss) scans and never touch ingest, verdicts, or delivery,
+    so goodput should stay within the <= 5% acceptance target
+    (reported in the table).  The assert uses a loose 25% bound so
+    scheduler jitter on busy CI machines never flakes the gate; the
+    precise number is tracked by check_bench_regression.py history.
+    """
+    values = _scan_values(series=SERIES)
+    history = [
+        Sample(name, tick * INTERVAL, float(values[name][tick]), {"metric": "gcpu"})
+        for tick in range(HIST_TICKS)
+        for name in SERIES
+    ]
+    burst_base = HIST_TICKS * INTERVAL
+    rng = np.random.default_rng(11)
+    bursts = []
+    tick = HIST_TICKS
+    for _ in range(N_BURSTS):
+        # Quiet continuations of each series: the steady state where
+        # rescans ride the incremental cache and full scans are rare.
+        burst = [
+            Sample(name, t * INTERVAL, float(rng.normal(0.001, 0.00002)),
+                   {"metric": "gcpu"})
+            for t in range(tick, tick + TICKS_PER_BURST)
+            for name in SERIES
+        ]
+        tick += TICKS_PER_BURST
+        bursts.append(burst)
+
+    rows = ["mode    accepted  challenger_scans  goodput(kS/s)"]
+    goodput = {}
+    reports_by_mode = {}
+    for mode in ("plain", "shadow"):
+        best = 0.0
+        for _ in range(3):  # best-of-3: goodput, not scheduler jitter
+            service = _build_scan_service(
+                workers=1, incremental=True,
+                shadow=["mad"] if mode == "shadow" else None,
+            )
+            service.ingest_many(history)
+            service.flush()
+            service.advance_to(burst_base)  # warm-up scan anchors series
+            reports = []
+            started = time.perf_counter()
+            for burst in bursts:
+                for sample in burst:
+                    service.ingest_sample(sample)
+                service.flush()
+                reports.extend(service.advance_to(burst[-1].timestamp + INTERVAL))
+            elapsed = time.perf_counter() - started
+            accepted = service.stats().accepted
+            best = max(best, (accepted - len(history)) / elapsed)
+            reports_by_mode[mode] = len(reports)
+            snapshot = service.detectors_snapshot()
+            challenger_scans = sum(
+                row["tally"]["scans"] for row in snapshot["detectors"]
+            )
+            if mode == "shadow":
+                assert snapshot["enabled"]
+                assert challenger_scans > 0  # the challenger actually scored
+            else:
+                assert not snapshot["enabled"]
+            service.close()
+        goodput[mode] = best
+        rows.append(
+            f"{mode:6s}  {accepted - len(history):8d}  {challenger_scans:16d}  "
+            f"{best / 1e3:13.1f}"
+        )
+
+    # Alert-inert: the challenger must not change what gets reported.
+    assert reports_by_mode["shadow"] == reports_by_mode["plain"]
+    overhead = goodput["plain"] / goodput["shadow"] - 1.0
+    rows.append(f"shadow-detector overhead: {overhead:+.1%} (target <= 5%)")
+    emit("Shadow-detector overhead (one challenger, bursty service load)", rows)
+    assert goodput["shadow"] >= goodput["plain"] / 1.25
 
 
 def main(argv=None):

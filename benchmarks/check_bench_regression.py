@@ -39,6 +39,8 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from _corpus import fig8_corpus  # noqa: E402
+from bench_detector_scorecard import score_detectors  # noqa: E402
 from bench_service_throughput import (  # noqa: E402
     CAPACITY,
     INTERVAL,
@@ -47,6 +49,8 @@ from bench_service_throughput import (  # noqa: E402
     run_burst_ingest,
     scan_config,
 )
+
+from repro.detectors import default_suite  # noqa: E402
 
 from repro.service import (  # noqa: E402
     BackpressurePolicy,
@@ -139,14 +143,36 @@ def measure() -> dict:
             hit_rate = hits / (hits + misses) if hits + misses else 0.0
         service.close()
 
+    # -- detector scorecard (reduced corpus) ---------------------------
+    # The registry's quality gate: the incumbent's accuracy over a
+    # reduced labelled corpus must not erode.  E-divisive permutations
+    # are cut down so the gate stays fast; detector IDs shift with the
+    # override, which is fine — the gate tracks the incumbent row.
+    corpus = fig8_corpus(
+        n_positive=6, n_clean=8, n_transient=8, n_seasonal=3,
+        n_wobble=8, n_drift=3,
+    )
+    scorecard = score_detectors(
+        default_suite(
+            threshold=0.000004,
+            overrides={"e_divisive": {"n_permutations": 29}},
+        ),
+        corpus,
+    )
+    incumbent = next(row for row in scorecard if row["type"] == "incumbent")
+    total = incumbent["tp"] + incumbent["fp"] + incumbent["fn"] + incumbent["tn"]
+    incumbent_accuracy = (incumbent["tp"] + incumbent["tn"]) / total
+
     return {
         "ratios": {
             # Higher is better for every ratio in this block.
             "ingest_goodput_scaling_4v1": goodput[4] / goodput[1],
             "incremental_speedup": elapsed_by_mode[False] / elapsed_by_mode[True],
+            "scorecard_incumbent_accuracy": incumbent_accuracy,
         },
         "counts": {
             "reports_delivered": reports_delivered,
+            "scorecard_detectors": len(scorecard),
         },
         "absolutes": {
             # Machine-dependent; judged by the change-point history gate.
@@ -240,7 +266,11 @@ def main(argv=None) -> int:
         # Timing ratios vary across machines; cap the committed baseline
         # at conservative values so the 20% floor gates real regressions
         # instead of hardware differences.
-        caps = {"ingest_goodput_scaling_4v1": 2.5, "incremental_speedup": 2.0}
+        caps = {
+            "ingest_goodput_scaling_4v1": 2.5,
+            "incremental_speedup": 2.0,
+            "scorecard_incumbent_accuracy": 0.95,
+        }
         ratios = {
             name: min(value, caps.get(name, value))
             for name, value in current["ratios"].items()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI shadow smoke: challenger detectors must be alert-inert.
+
+Runs the same fleet stream twice through a parallel (``--workers 4``)
+detection service — once with no shadow detectors, once with a
+challenger panel (``mad`` plus a static ``threshold`` preset) riding
+every monitor — and gates on:
+
+- the shadow run's incident reports are **byte-identical** to the
+  plain run's (challengers never touch verdicts or delivery);
+- the planted regression is still caught (exactly one report);
+- the challengers actually scored: every registered detector ID shows
+  a non-zero scan tally on ``detectors_snapshot()``;
+- the funnel tallies reach the Prometheus surface (``detector_*``
+  counters in the rendered exposition).
+
+Exit status 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_shadow_smoke.py [--workers 4]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+import numpy as np
+
+from repro.config import DetectionConfig
+from repro.runtime import CollectingSink
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import WindowSpec
+
+N_TICKS = 1_100
+INTERVAL = 60.0
+CHANGE_TICK = 700
+REGRESS_INDEX = 3
+SERIES = [f"svc.sub{i}.gcpu" for i in range(8)]
+N_SHARDS = 4
+ROUND_TICKS = 200
+
+#: The challenger panel: cheap, deterministic presets — the smoke gates
+#: on inertness and plumbing, not on challenger quality.
+SHADOW_SPECS = ("mad", ("threshold", {"level": 0.00106}))
+
+
+def make_stream(seed=7):
+    rng = np.random.default_rng(seed)
+    table = {}
+    for index, name in enumerate(SERIES):
+        values = rng.normal(0.001, 0.00002, N_TICKS)
+        if index == REGRESS_INDEX:
+            values[CHANGE_TICK:] += 0.0003
+        table[name] = values
+    samples = []
+    for tick in range(N_TICKS):
+        for name in SERIES:
+            samples.append(
+                Sample(name, tick * INTERVAL, float(table[name][tick]),
+                       {"metric": "gcpu"})
+            )
+    return samples
+
+
+def run(samples, workers, shadow=None):
+    sink = CollectingSink()
+    service = StreamingDetectionService(
+        n_shards=N_SHARDS,
+        workers=workers,
+        sinks=[sink],
+        queue_capacity=2**14,
+        backpressure=BackpressurePolicy.BLOCK,
+        batch_size=128,
+    )
+    service.register_monitor(
+        "gcpu",
+        DetectionConfig(
+            name="shadow-smoke",
+            threshold=0.00005,
+            rerun_interval=6_000.0,
+            windows=WindowSpec(
+                historic=36_000.0, analysis=12_000.0, extended=6_000.0
+            ),
+            long_term=False,
+        ),
+        series_filter={"metric": "gcpu"},
+        shadow=shadow,
+    )
+    try:
+        span = ROUND_TICKS * INTERVAL
+        rounds = int(math.ceil(N_TICKS / ROUND_TICKS))
+        for index in range(rounds):
+            begin, end = index * span, (index + 1) * span
+            service.ingest_many(
+                [s for s in samples if begin <= s.timestamp < end]
+            )
+            service.advance_to(end)
+        service.flush()
+        reports = json.dumps(
+            [r.to_dict() for r in sink.reports], sort_keys=True
+        )
+        return (
+            reports,
+            [r.metric_id for r in sink.reports],
+            service.detectors_snapshot(),
+            service.render_metrics(),
+        )
+    finally:
+        service.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    samples = make_stream()
+    plain_reports, plain_alerted, plain_snapshot, _ = run(samples, args.workers)
+    if plain_alerted != [SERIES[REGRESS_INDEX]]:
+        print(f"FAIL: plain run alerted {plain_alerted}, expected "
+              f"[{SERIES[REGRESS_INDEX]!r}]")
+        return 1
+    if plain_snapshot["enabled"]:
+        print("FAIL: plain run reports shadow mode enabled")
+        return 1
+
+    shadow_reports, shadow_alerted, snapshot, metrics_text = run(
+        samples, args.workers, shadow=SHADOW_SPECS
+    )
+
+    rows = snapshot["detectors"]
+    print(f"plain alerts:   {plain_alerted}")
+    print(f"shadow alerts:  {shadow_alerted}")
+    for row in rows:
+        tally = row["tally"]
+        print(f"challenger {row['id']}: scans={tally['scans']} "
+              f"fired={tally['fired']} agree={tally['agree_fired']} "
+              f"errors={tally['errors']}")
+
+    if shadow_reports != plain_reports:
+        print("FAIL: shadow-run reports are not byte-identical to plain")
+        return 1
+    if not snapshot["enabled"] or len(rows) != len(SHADOW_SPECS):
+        print(f"FAIL: expected {len(SHADOW_SPECS)} challenger rows, "
+              f"got {len(rows)}")
+        return 1
+    idle = [row["id"] for row in rows if row["tally"]["scans"] == 0]
+    if idle:
+        print(f"FAIL: challengers never scored: {idle}")
+        return 1
+    if "detector_" not in metrics_text:
+        print("FAIL: no detector_* counters in the Prometheus exposition")
+        return 1
+    print("OK: challenger panel alert-inert, tallies flowing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

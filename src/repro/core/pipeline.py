@@ -171,6 +171,16 @@ class DetectionPipeline:
             resume (see :meth:`stale_series`).  ``None`` disables both.
             Independently of the gate, windows containing non-finite
             values are never scanned.
+        shadow: Optional shadow scorer (must expose
+            ``score(historic, analysis, extended, primary_fired,
+            metrics)``, e.g.
+            :class:`repro.detectors.shadow.ShadowScorer`); invoked once
+            per full short-term scan with the oriented window segments
+            and whether the incumbent screen fired.  Shadow scoring is
+            alert-inert: it never touches verdicts, funnels, or
+            delivery, so the primary report is byte-identical with or
+            without it.  Kept duck-typed so the core pipeline does not
+            import the detectors layer.
     """
 
     def __init__(
@@ -191,6 +201,7 @@ class DetectionPipeline:
         metrics: Optional[object] = None,
         tracer: Optional[object] = None,
         quality_gate: Optional[QualityGate] = None,
+        shadow: Optional[object] = None,
     ) -> None:
         self.config = config
         self.change_log = change_log if change_log is not None else ChangeLog()
@@ -212,6 +223,7 @@ class DetectionPipeline:
         self.metrics = metrics
         self.tracer = tracer
         self.quality_gate = quality_gate
+        self.shadow = shadow
         # Series currently evicted for staleness; membership is
         # re-evaluated every run, so a series that resumes reporting
         # leaves the set on its next scan.
@@ -524,6 +536,17 @@ class DetectionPipeline:
             # lower-is-worse series).
             cache.record_full_scan(
                 series, now, windowed.analysis, candidate is not None
+            )
+        if self.shadow is not None:
+            # Challengers see exactly what the incumbent scanned (same
+            # orientation, same segments) on every full scan — fired or
+            # quiet — so their tallies measure both FP and FN behavior.
+            self.shadow.score(
+                self._oriented(windowed.historic),
+                oriented_analysis,
+                self._oriented(windowed.extended),
+                primary_fired=candidate is not None,
+                metrics=self.metrics,
             )
         if candidate is None:
             if trace is not None:

@@ -1,0 +1,150 @@
+"""Detector registry: named factories and the default suite.
+
+The registry maps detector *type names* to factories; a monitor asks it
+to build challenger instances from compact specs (a bare type name, a
+``(type, params)`` pair, a ``{"type": ..., "params": ...}`` mapping, or
+an already-built :class:`~repro.detectors.base.Detector`).  Built
+instances carry their own deterministic param-hash IDs, so the registry
+never needs to coordinate naming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.detectors.base import Detector
+from repro.detectors.library import (
+    DPChangePointDetector,
+    EDivisiveDetector,
+    IncumbentDetector,
+    MADDetector,
+    ThresholdDetector,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "DetectorRegistry",
+    "DetectorSpec",
+    "build_detector",
+    "default_suite",
+]
+
+DetectorSpec = Union[
+    Detector,
+    str,
+    Tuple[str, Mapping[str, object]],
+    Mapping[str, object],
+]
+
+
+class DetectorRegistry:
+    """A mapping of detector type names to factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Detector]] = {}
+
+    def register(self, type_name: str, factory: Callable[..., Detector]) -> None:
+        """Register a factory; re-registering a name is an error."""
+        if type_name in self._factories:
+            raise ValueError(f"detector type already registered: {type_name!r}")
+        self._factories[type_name] = factory
+
+    def create(self, type_name: str, **params: object) -> Detector:
+        """Build a detector of ``type_name`` with ``params``."""
+        try:
+            factory = self._factories[type_name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(
+                f"unknown detector type {type_name!r} (known: {known})"
+            ) from None
+        return factory(**params)
+
+    def types(self) -> List[str]:
+        """Sorted registered type names."""
+        return sorted(self._factories)
+
+    def __contains__(self, type_name: object) -> bool:
+        return type_name in self._factories
+
+
+def _built_in_registry() -> DetectorRegistry:
+    registry = DetectorRegistry()
+    registry.register("incumbent", IncumbentDetector)
+    registry.register("e_divisive", EDivisiveDetector)
+    registry.register("dp_change", DPChangePointDetector)
+    registry.register("mad", MADDetector)
+    registry.register("threshold", ThresholdDetector)
+    return registry
+
+
+#: The process-wide registry holding the built-in library.
+DEFAULT_REGISTRY = _built_in_registry()
+
+
+def build_detector(
+    spec: DetectorSpec, registry: Optional[DetectorRegistry] = None
+) -> Detector:
+    """Build a detector from a compact spec.
+
+    Accepted forms::
+
+        build_detector("mad")
+        build_detector(("mad", {"coefficient": 4.0}))
+        build_detector({"type": "threshold", "params": {"level": 0.002}})
+        build_detector(MADDetector())  # passthrough
+
+    Raises:
+        KeyError: Unknown type name.
+        ValueError: Malformed spec.
+    """
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    if isinstance(spec, Detector):
+        return spec
+    if isinstance(spec, str):
+        return registry.create(spec)
+    if isinstance(spec, tuple):
+        if len(spec) != 2:
+            raise ValueError(f"detector spec tuple must be (type, params): {spec!r}")
+        type_name, params = spec
+        return registry.create(type_name, **dict(params))
+    if isinstance(spec, Mapping):
+        if "type" not in spec:
+            raise ValueError(f"detector spec mapping needs a 'type' key: {spec!r}")
+        params = dict(spec.get("params") or {})
+        return registry.create(str(spec["type"]), **params)
+    raise ValueError(f"unsupported detector spec: {spec!r}")
+
+
+def default_suite(
+    threshold: float = 0.000004,
+    base: float = 0.001,
+    overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[Detector]:
+    """One of each built-in detector, tuned for the bench corpora.
+
+    Args:
+        threshold: Incumbent magnitude threshold (the fig8 bench value).
+        base: Baseline level the static presets key off.
+        overrides: Per-type parameter overrides merged over the
+            defaults, e.g. ``{"e_divisive": {"n_permutations": 29}}``.
+
+    Returns:
+        Five detectors — incumbent, e_divisive, dp_change, mad,
+        threshold — each carrying its param-hash ID.
+    """
+    params: Dict[str, Dict[str, object]] = {
+        "incumbent": {"threshold": threshold},
+        "e_divisive": {},
+        "dp_change": {},
+        "mad": {},
+        "threshold": {"level": base * 1.05},
+    }
+    for type_name, extra in (overrides or {}).items():
+        if type_name not in params:
+            raise KeyError(f"unknown detector type in overrides: {type_name!r}")
+        params[type_name].update(extra)
+    return [
+        DEFAULT_REGISTRY.create(type_name, **type_params)
+        for type_name, type_params in params.items()
+    ]

@@ -25,6 +25,10 @@ duck-typed like one) on three endpoints:
   counters, per-shard quarantine snapshots (worst offenders, reason
   codes, quality scores), and stale-evicted series.  With the quality
   layer disabled it reports ``{"enabled": false}``.
+- ``GET /detectors`` — the shadow-detector view: per-challenger funnel
+  tallies (scans, fired, agreement with the incumbent, errors) merged
+  across shards, keyed by deterministic param-hash detector IDs.  With
+  no challengers registered it reports ``{"enabled": false}``.
 
 ``GET /`` returns a small JSON index of the endpoints.  The server runs
 on a daemon thread (one handler thread per request), binds an ephemeral
@@ -82,11 +86,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self._faults_payload())
             elif path == "/quality":
                 self._send_json(200, self._quality_payload())
+            elif path == "/detectors":
+                self._send_json(200, self._detectors_payload())
             elif path == "/":
                 self._send_json(200, {
                     "service": "repro-fbdetect",
                     "endpoints": [
-                        "/metrics", "/healthz", "/status", "/faults", "/quality",
+                        "/metrics", "/healthz", "/status", "/faults",
+                        "/quality", "/detectors",
                     ],
                 })
             else:
@@ -99,6 +106,12 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         if hasattr(service, "quality_snapshot"):
             return service.quality_snapshot()
+        return {"enabled": False}
+
+    def _detectors_payload(self) -> dict:
+        service = self.server.service
+        if hasattr(service, "detectors_snapshot"):
+            return service.detectors_snapshot()
         return {"enabled": False}
 
     def _faults_payload(self) -> dict:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import DetectionConfig
 from repro.core.detector import FBDetect
 from repro.core.pipeline import PipelineResult
+from repro.detectors.shadow import merge_snapshot_rows
 from repro.fleet.changes import ChangeLog
 from repro.obs.logging import correlation_id, get_logger, log_context
 from repro.profiling.stacktrace import StackTrace
@@ -201,6 +202,22 @@ class DetectionScheduler:
         for registration in self._monitors.values():
             stale.update(registration.detector.pipeline.stale_series())
         return sorted(stale)
+
+    def shadow_snapshot(self) -> List[dict]:
+        """Shadow-detector tallies across this scheduler's monitors.
+
+        Merged per detector ID (identity fields from the first row,
+        tally fields summed), sorted by ID.  Empty when no monitor has
+        a shadow scorer attached.  Surfaced on the service's
+        ``/detectors`` endpoint.
+        """
+        merged: Dict[str, dict] = {}
+        for registration in self._monitors.values():
+            shadow = getattr(registration.detector.pipeline, "shadow", None)
+            if shadow is None:
+                continue
+            merge_snapshot_rows(merged, shadow.snapshot_rows())
+        return [merged[det_id] for det_id in sorted(merged)]
 
     # ------------------------------------------------------------------
     # Time advancement

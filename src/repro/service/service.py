@@ -40,6 +40,12 @@ from repro.core.pipeline import FunnelCounters
 from repro.faults import FaultInjector
 from repro.faults.plan import FaultKind
 from repro.core.types import Regression
+from repro.detectors import (
+    DetectorSpec,
+    ShadowScorer,
+    build_detector,
+    merge_snapshot_rows,
+)
 from repro.quality import AdmissionController, QualityConfig, QualityGate
 from repro.obs.logging import correlation_id, get_logger, log_context
 from repro.obs.spans import EventLog, FunnelTrace, TraceStore
@@ -515,6 +521,21 @@ class StreamingDetectionService:
             "shards": shards,
         }
 
+    def detectors_snapshot(self) -> dict:
+        """Shadow-detector funnels across shards (the ``/detectors`` payload).
+
+        Per-detector rows merged over every shard's scheduler (identity
+        fields plus summed :class:`~repro.detectors.shadow.ShadowTally`
+        buckets), id-sorted.  ``enabled`` is False when no monitor has
+        challengers registered.  Shadow tallies are scheduler state, so
+        this view survives parallel advances, checkpoints, and restores.
+        """
+        merged: Dict[str, dict] = {}
+        for shard in self._shards.values():
+            merge_snapshot_rows(merged, shard.scheduler.shadow_snapshot())
+        rows = [merged[det_id] for det_id in sorted(merged)]
+        return {"enabled": bool(rows), "detectors": rows}
+
     def unquarantine(self, name: str) -> int:
         """Release one series from quarantine on every shard.
 
@@ -542,6 +563,7 @@ class StreamingDetectionService:
         config: DetectionConfig,
         series_filter: Optional[Dict[str, str]] = None,
         first_run: Optional[float] = None,
+        shadow: Optional[Sequence[DetectorSpec]] = None,
         **detector_kwargs,
     ) -> None:
         """Register a monitor on *every* shard.
@@ -553,6 +575,14 @@ class StreamingDetectionService:
         in new points instead of O(window).  Pipelines record funnel
         spans into the service's :attr:`traces` store (pass
         ``tracer=None`` to opt a monitor out of tracing).
+
+        ``shadow`` registers challenger detectors (specs accepted by
+        :func:`repro.detectors.build_detector` — e.g. ``["mad"]`` or
+        ``[("e_divisive", {"n_permutations": 49})]``): each shard gets
+        its own :class:`~repro.detectors.shadow.ShadowScorer` scoring
+        every full scan alert-inertly; tallies surface on
+        :meth:`detectors_snapshot` / ``/detectors`` and ride shard
+        checkpoints like any scheduler state.
         """
         detector_kwargs.setdefault("incremental", True)
         detector_kwargs.setdefault("tracer", self.traces)
@@ -562,17 +592,34 @@ class StreamingDetectionService:
         detector_kwargs.setdefault(
             "quality_gate", QualityGate() if self.quality is not None else None
         )
+        shadow_specs = list(shadow or [])
+        shadow_ids: List[str] = []
         for shard in self._shards.values():
+            shard_kwargs = dict(detector_kwargs)
+            if shadow_specs:
+                # Fresh challenger instances per shard: scorer state is
+                # shard state (it rides that shard's pickles), so shards
+                # must never share detector or tally objects.
+                scorer = ShadowScorer(
+                    [build_detector(spec) for spec in shadow_specs]
+                )
+                shadow_ids = scorer.detector_ids
+                shard_kwargs["shadow"] = scorer
             shard.scheduler.register(
                 name,
                 config,
                 series_filter=series_filter,
                 first_run=first_run,
                 metrics=self.metrics,
-                **detector_kwargs,
+                **shard_kwargs,
             )
         self._monitor_specs.append(
-            {"name": name, "config": config.name, "series_filter": dict(series_filter or {})}
+            {
+                "name": name,
+                "config": config.name,
+                "series_filter": dict(series_filter or {}),
+                "shadow": shadow_ids,
+            }
         )
 
     def monitors(self) -> List[str]:

@@ -22,6 +22,8 @@ paper's pipeline relies on:
   presence test (§5.2.3).
 - :mod:`repro.stats.changepoint_dp` — normal-loss dynamic-programming
   change-point search used by long-term detection (§5.3).
+- :mod:`repro.stats.e_divisive` — energy-statistic change-point test
+  with permutation significance (Hunter-style challenger detector).
 - :mod:`repro.stats.correlation` — Pearson correlation with alignment
   helpers (§5.5.2, §5.6).
 - :mod:`repro.stats.descriptive` — percentiles and summary statistics.
@@ -31,10 +33,16 @@ paper's pipeline relies on:
 """
 
 from repro.stats.autocorrelation import acf, detect_season_length, has_significant_seasonality
-from repro.stats.changepoint_dp import best_split_normal_loss, normal_segment_loss
+from repro.stats.changepoint_dp import (
+    SplitResult,
+    best_split_normal_loss,
+    multi_split_normal_loss,
+    normal_segment_loss,
+)
 from repro.stats.correlation import aligned_pearson, pearson
 from repro.stats.cusum import CusumResult, cusum_changepoint, cusum_statistic
 from repro.stats.descriptive import percentile, summarize
+from repro.stats.e_divisive import EDivisiveResult, best_e_divisive_split, e_divisive_test
 from repro.stats.em import em_mean_split
 from repro.stats.hypothesis import LikelihoodRatioResult, likelihood_ratio_test
 from repro.stats.incremental import RunningMoments, StreamingCusum
@@ -46,19 +54,23 @@ from repro.stats.theil_sen import TheilSenFit, theil_sen
 
 __all__ = [
     "CusumResult",
+    "EDivisiveResult",
     "LikelihoodRatioResult",
     "MannKendallResult",
     "RunningMoments",
     "STLResult",
+    "SplitResult",
     "StreamingCusum",
     "SaxEncoding",
     "TheilSenFit",
     "acf",
     "aligned_pearson",
+    "best_e_divisive_split",
     "best_split_normal_loss",
     "cusum_changepoint",
     "cusum_statistic",
     "detect_season_length",
+    "e_divisive_test",
     "em_mean_split",
     "has_significant_seasonality",
     "likelihood_ratio_test",
@@ -66,6 +78,7 @@ __all__ = [
     "mad",
     "mad_threshold",
     "mann_kendall_test",
+    "multi_split_normal_loss",
     "normal_segment_loss",
     "pearson",
     "percentile",

@@ -16,7 +16,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["best_split_normal_loss", "normal_segment_loss", "multi_split_normal_loss"]
+__all__ = [
+    "SplitResult",
+    "best_split_normal_loss",
+    "multi_split_normal_loss",
+    "normal_segment_loss",
+]
 
 
 def normal_segment_loss(prefix: np.ndarray, prefix_sq: np.ndarray, lo: int, hi: int) -> float:

@@ -48,6 +48,11 @@ class LabeledWindow:
         kind: Ground-truth content.
         magnitude: Injected regression magnitude (0 for non-regressions).
         base: Baseline mean.
+        change_index: Index into ``values`` where the injected change
+            starts (the step offset for REGRESSION, the ramp start for
+            GRADUAL); -1 when the window contains no true regression.
+            Detection-latency scoring subtracts this from a detector's
+            claimed change index.
     """
 
     values: np.ndarray
@@ -57,6 +62,7 @@ class LabeledWindow:
     kind: WindowKind
     magnitude: float
     base: float
+    change_index: int = -1
 
     @property
     def is_true_regression(self) -> bool:
@@ -117,12 +123,14 @@ def generate_labeled_window(
     values = rng.normal(base, noise, n)
 
     injected = 0.0
+    change_index = -1
     if kind is WindowKind.REGRESSION:
         injected = magnitude if magnitude is not None else sample_regression_magnitude(rng, base)
         # Change point lands inside the analysis window (its first 70%)
         # so the post-change segment persists through the extended window.
         offset = historic_points + int(rng.integers(5, max(6, int(0.7 * analysis_points))))
         values[offset:] += injected
+        change_index = offset
     elif kind is WindowKind.TRANSIENT:
         # "From seconds to hours" (§1): lengths range from a blip to
         # three quarters of the analysis window, always recovering
@@ -144,6 +152,7 @@ def generate_labeled_window(
         ramp = np.zeros(n)
         ramp[ramp_start:] = np.linspace(0.0, injected, n - ramp_start)
         values += ramp
+        change_index = ramp_start
     elif kind is WindowKind.WOBBLE:
         # AR(1) level noise: the window mean wanders by a few noise sigmas
         # without any code change behind it — common in production.
@@ -168,6 +177,7 @@ def generate_labeled_window(
         kind=kind,
         magnitude=injected,
         base=base,
+        change_index=change_index,
     )
 
 

@@ -187,6 +187,7 @@ class TestStatusEndpoint:
             "/status",
             "/faults",
             "/quality",
+            "/detectors",
         }
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server.url + "/nope")
