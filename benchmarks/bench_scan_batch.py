@@ -1,0 +1,279 @@
+"""Batch-scan throughput: vectorized screens vs the seed per-series loop.
+
+The columnar refactor's headline claim: a shard advance screens
+thousands of series as a few ``(k, n)`` array ops
+(:meth:`~repro.core.incremental.IncrementalScanCache.screen_batch`)
+instead of the seed's per-series, per-point Python fold.  This bench
+measures both paths over the same fleet — quiet series at the service's
+own cadence (100 new points per advance = rerun interval / tick) — and
+asserts:
+
+- every per-series decision (scan / skip) and screen latch state is
+  identical between the two paths;
+- the batch path is at least **10x** faster at 10k series (the CI gate
+  re-measures a reduced fleet via ``check_bench_regression.py``).
+
+The seed path here is a faithful reimplementation of the pre-refactor
+hot loop: list-backed tail reads converted per scan, and Page's CUSUM
+advanced one float at a time per series.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_scan_batch.py
+    PYTHONPATH=src python benchmarks/bench_scan_batch.py [--series 10000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _harness import emit
+
+from repro.core.incremental import IncrementalScanCache
+from repro.tsdb import TimeSeries
+
+N_SERIES = 10_000
+INTERVAL = 60.0
+HIST_POINTS = 200       # anchored history per series
+ANALYSIS_POINTS = 100   # reference window for the screen anchor
+NEW_POINTS = 100        # points per advance = rerun interval / tick
+MAX_STALENESS = 12_000.0
+SPEEDUP_FLOOR = 10.0
+REPS = 4                # best-of-N: skims first-touch page-fault noise
+
+
+class SeedScreen:
+    """The seed's scalar Page CUSUM (pre-vectorization), one float at a time."""
+
+    __slots__ = ("mean", "std", "drift", "threshold", "pos", "neg", "fired", "n")
+
+    def __init__(self, state, drift, threshold):
+        self.mean = state["mean"]
+        self.std = state["std"]
+        self.drift = drift
+        self.threshold = threshold
+        self.pos = state["pos"]
+        self.neg = state["neg"]
+        self.fired = state["fired"]
+        self.n = state["n"]
+
+    def update(self, value):
+        self.n += 1
+        if self.fired:
+            return True
+        if self.std <= 0.0:
+            if value != self.mean:
+                self.fired = True
+            return self.fired
+        z = (value - self.mean) / self.std
+        self.pos = max(0.0, self.pos + z - self.drift)
+        self.neg = max(0.0, self.neg - z - self.drift)
+        if self.pos >= self.threshold or self.neg >= self.threshold:
+            self.fired = True
+        return self.fired
+
+    def update_many(self, values):
+        for value in np.asarray(values, dtype=float):
+            if self.update(float(value)):
+                break
+        return self.fired
+
+
+class SeedAnchor:
+    """The seed's per-series cache entry over list-backed storage."""
+
+    __slots__ = ("values", "anchor_len", "full_scan_at", "had_candidate", "screen")
+
+    def __init__(self, values, anchor_len, full_scan_at, had_candidate, screen):
+        self.values = values              # plain Python list (seed storage)
+        self.anchor_len = anchor_len
+        self.full_scan_at = full_scan_at
+        self.had_candidate = had_candidate
+        self.screen = screen
+
+    def should_scan(self, now, max_staleness):
+        # Seed tail read: list slice -> fresh numpy array, every scan.
+        new_values = np.asarray(self.values[self.anchor_len:], dtype=float)
+        if new_values.size:
+            self.screen.update_many(new_values)
+            self.anchor_len = len(self.values)
+        if (
+            self.had_candidate
+            or self.screen.fired
+            or (now - self.full_scan_at) >= max_staleness
+        ):
+            return True
+        return False
+
+
+def build_fleet(n_series, rng=None):
+    """Anchored quiet fleet + the seed path's mirrored state.
+
+    Returns ``(cache, series_list, seed_anchors, now)`` where the cache
+    holds an anchor per series, each series has ``NEW_POINTS`` unscreened
+    points, and ``seed_anchors`` mirrors the exact same screen state over
+    list-backed storage for the reference measurement.
+    """
+    rng = rng or np.random.default_rng(42)
+    values = rng.normal(0.001, 0.00002, (n_series, HIST_POINTS + NEW_POINTS))
+    anchor_time = HIST_POINTS * INTERVAL
+    now = (HIST_POINTS + NEW_POINTS) * INTERVAL
+    timestamps = np.arange(HIST_POINTS + NEW_POINTS, dtype=float) * INTERVAL
+
+    cache = IncrementalScanCache(max_staleness=MAX_STALENESS)
+    series_list = []
+    seed_anchors = []
+    for i in range(n_series):
+        series = TimeSeries(name=f"fleet.sub{i}.gcpu")
+        series.ingest_many(list(zip(timestamps[:HIST_POINTS], values[i, :HIST_POINTS])))
+        cache.record_full_scan(
+            series, anchor_time, values[i, HIST_POINTS - ANALYSIS_POINTS:HIST_POINTS],
+            had_candidate=False,
+        )
+        series.ingest_many(list(zip(timestamps[HIST_POINTS:], values[i, HIST_POINTS:])))
+        series_list.append(series)
+        seed_anchors.append(
+            SeedAnchor(
+                values=values[i].tolist(),
+                anchor_len=HIST_POINTS,
+                full_scan_at=anchor_time,
+                had_candidate=False,
+                screen=SeedScreen(
+                    cache.screen_state(series.name), cache.drift, cache.threshold
+                ),
+            )
+        )
+    return cache, series_list, seed_anchors, now
+
+
+def measure_batch_scan(n_series=N_SERIES):
+    """Time seed vs batch screening over ``n_series``; returns a payload.
+
+    Both paths see identical data and identical starting screen state;
+    decisions and latch flags are asserted equal before any number is
+    reported, so the speedup can never come from diverging behavior.
+    Each path is timed ``REPS`` times (screening mutates screen state,
+    so later reps restore a pristine snapshot first) and the best rep
+    counts — the usual guard against first-touch page faults and
+    allocator warm-up landing on one side of the comparison.
+    """
+    cache, series_list, seed_anchors, now = build_fleet(n_series)
+    points = n_series * NEW_POINTS
+    # Cheap state restore between reps: the cache snapshots through its
+    # pickle protocol (compact column copies, no serialization), and the
+    # seed anchors reset to the fresh-anchor state build_fleet left them
+    # in (zero evidence, anchored at HIST_POINTS).
+    cache_snapshot = cache.__getstate__()
+
+    def reset_seed():
+        for anchor in seed_anchors:
+            anchor.anchor_len = HIST_POINTS
+            screen = anchor.screen
+            screen.pos = 0.0
+            screen.neg = 0.0
+            screen.fired = False
+            screen.n = 0
+
+    seed_elapsed = float("inf")
+    batch_elapsed = float("inf")
+    speedup = 0.0
+    # Each rep times both paths back to back and contributes one ratio,
+    # so a machine-wide slowdown lands on both sides of that ratio
+    # instead of skewing one of them; the best matched-conditions rep
+    # counts.  Screening mutates state, so each rep starts from a
+    # restored snapshot.
+    for rep in range(REPS):
+        if rep:
+            reset_seed()
+        started = time.perf_counter()
+        seed_decisions = [
+            anchor.should_scan(now, MAX_STALENESS) for anchor in seed_anchors
+        ]
+        rep_seed = time.perf_counter() - started
+        seed_elapsed = min(seed_elapsed, rep_seed)
+
+        if rep:
+            cache.__setstate__(cache_snapshot)
+        started = time.perf_counter()
+        batch_decisions = cache.screen_batch(series_list, now)
+        rep_batch = time.perf_counter() - started
+        batch_elapsed = min(batch_elapsed, rep_batch)
+        speedup = max(speedup, rep_seed / rep_batch)
+
+    for series, anchor, seed_decision in zip(series_list, seed_anchors, seed_decisions):
+        assert batch_decisions[series.name] == seed_decision, series.name
+        assert cache.screen_state(series.name)["fired"] == anchor.screen.fired
+    return {
+        "n_series": n_series,
+        "new_points": NEW_POINTS,
+        "seed_points_per_s": points / seed_elapsed,
+        "batch_points_per_s": points / batch_elapsed,
+        "speedup": speedup,
+        "scans_forced": sum(seed_decisions),
+    }
+
+
+def test_batch_screen_speedup_at_10k_series(capsys):
+    result = measure_batch_scan(N_SERIES)
+    rows = [
+        "path   series  new/series  points/s     elapsed-relative",
+        (
+            f"seed   {result['n_series']:6d}  {result['new_points']:10d}  "
+            f"{result['seed_points_per_s'] / 1e6:9.2f}M  1.0x"
+        ),
+        (
+            f"batch  {result['n_series']:6d}  {result['new_points']:10d}  "
+            f"{result['batch_points_per_s'] / 1e6:9.2f}M  "
+            f"{result['speedup']:.1f}x"
+        ),
+        f"scans forced by screens: {result['scans_forced']}",
+    ]
+    emit("Batch screening vs seed per-series loop (quiet fleet)", rows)
+    assert result["speedup"] >= SPEEDUP_FLOOR
+
+
+def test_batch_matches_sequential_on_shifted_fleet():
+    """Decision equality must also hold when screens actually fire."""
+    rng = np.random.default_rng(7)
+    cache, series_list, seed_anchors, now = build_fleet(512, rng=rng)
+    # Shift a deterministic subset hard enough to latch their screens.
+    for i in range(0, 512, 8):
+        series = series_list[i]
+        tail = np.asarray(series.values)
+        shifted = tail[-NEW_POINTS:] + 0.0005
+        base = len(series) - NEW_POINTS
+        for offset, value in enumerate(shifted):
+            series._values.set(base + offset, float(value))
+            seed_anchors[i].values[base + offset] = float(value)
+    batch_decisions = cache.screen_batch(series_list, now)
+    fired = 0
+    for series, anchor in zip(series_list, seed_anchors):
+        seed_decision = anchor.should_scan(now, MAX_STALENESS)
+        assert batch_decisions[series.name] == seed_decision, series.name
+        fired += int(cache.screen_state(series.name)["fired"])
+    assert fired >= 512 // 8  # every shifted series latched
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--series", type=int, default=N_SERIES)
+    args = parser.parse_args(argv)
+    result = measure_batch_scan(args.series)
+    print(
+        f"batch scan: {result['n_series']} series x {result['new_points']} pts  "
+        f"seed {result['seed_points_per_s'] / 1e6:.2f}M pts/s  "
+        f"batch {result['batch_points_per_s'] / 1e6:.2f}M pts/s  "
+        f"speedup {result['speedup']:.1f}x"
+    )
+    if result["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup below {SPEEDUP_FLOOR:.0f}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,33 +22,52 @@ The cache is deliberately conservative: the screen is tuned to fire on
 smaller shifts than the offline detector reports, so a skipped scan is
 one the full pipeline would almost surely have scored "no candidate".
 
+Storage layout: anchors live in a struct-of-arrays — one row per series
+across parallel numpy columns (anchor bounds, reference moments, screen
+evidence), indexed by a name→row dict.  :meth:`screen_batch` is the
+shard-advance hot path: the only per-series Python work is the row
+lookup, the append-only validation, and collecting the tail view; the
+screen fold, state writeback, scan decisions, and counters are all whole-
+batch array ops.  Screening thousands of series costs a handful of
+``(k, n)`` kernels instead of ~10 interpreter operations per series.
+
 Checkpoint semantics: the cache pickles with its pipeline so the
-parallel executor can round-trip shard state without losing it, but a
-*restore* is a trust boundary — restored services must call
-:meth:`IncrementalScanCache.clear` (via
+parallel executor can round-trip shard state without losing it (columns
+are compacted to the live rows), but a *restore* is a trust boundary —
+restored services must call :meth:`IncrementalScanCache.clear` (via
 ``DetectionPipeline.invalidate_incremental``) so stale anchors can never
-suppress a re-scan over replayed or repaired history.
+suppress a re-scan over replayed or repaired history.  Checkpoints
+written by the older object-per-series layout load transparently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.stats.incremental import StreamingCusum
+import numpy as np
+
+from repro.stats.incremental import StreamingCusum, cusum_screen_batch
 from repro.tsdb.series import TimeSeries
 
 __all__ = ["IncrementalScanCache"]
 
+_MIN_ROWS = 8
+
 
 @dataclass
 class _SeriesAnchor:
-    """Per-series incremental state between full scans."""
+    """Legacy per-series anchor object.
 
-    anchor_end: float  # timestamp of the newest point folded into the screen
-    anchor_len: int  # series length at that moment
-    full_scan_at: float  # reference time of the last full scan
-    had_candidate: bool  # whether that scan produced a change-point candidate
+    Kept only so checkpoints written before the struct-of-arrays layout
+    still unpickle; :meth:`IncrementalScanCache.__setstate__` converts
+    them into column rows on load.
+    """
+
+    anchor_end: float
+    anchor_len: int
+    full_scan_at: float
+    had_candidate: bool
     screen: StreamingCusum
 
 
@@ -63,9 +82,24 @@ class IncrementalScanCache:
         drift: Screen allowance (see :class:`StreamingCusum`).
         threshold: Screen decision interval (see :class:`StreamingCusum`).
 
-    Plain-attribute state only: pickles inside shard checkpoints and
-    across process-pool boundaries.
+    Plain-attribute state only (dict, list, numpy arrays): pickles
+    inside shard checkpoints and across process-pool boundaries.
     """
+
+    # One entry per column of the struct-of-arrays anchor store.  Order
+    # matters only for _remove/_grow loops, which treat them uniformly.
+    _COLUMNS = (
+        "_c_anchor_end",
+        "_c_anchor_len",
+        "_c_full_scan_at",
+        "_c_had_candidate",
+        "_c_mean",
+        "_c_std",
+        "_c_pos",
+        "_c_neg",
+        "_c_fired",
+        "_c_n",
+    )
 
     def __init__(
         self,
@@ -78,13 +112,52 @@ class IncrementalScanCache:
         self.max_staleness = float(max_staleness)
         self.drift = float(drift)
         self.threshold = float(threshold)
-        self._anchors: Dict[str, _SeriesAnchor] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self._rows: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._size = 0
+        self._alloc(_MIN_ROWS)
+
+    def _alloc(self, capacity: int) -> None:
+        """Allocate fresh columns with room for ``capacity`` rows."""
+        self._c_anchor_end = np.zeros(capacity)
+        self._c_anchor_len = np.zeros(capacity, dtype=np.int64)
+        self._c_full_scan_at = np.zeros(capacity)
+        self._c_had_candidate = np.zeros(capacity, dtype=bool)
+        self._c_mean = np.zeros(capacity)
+        self._c_std = np.zeros(capacity)
+        self._c_pos = np.zeros(capacity)
+        self._c_neg = np.zeros(capacity)
+        self._c_fired = np.zeros(capacity, dtype=bool)
+        self._c_n = np.zeros(capacity, dtype=np.int64)
+
+    def _grow(self) -> None:
+        """Double capacity (amortized O(1) row appends, like FloatColumn)."""
+        live = {name: getattr(self, name)[: self._size] for name in self._COLUMNS}
+        self._alloc(max(_MIN_ROWS, 2 * self._size))
+        for name, column in live.items():
+            getattr(self, name)[: self._size] = column
+
+    def _remove(self, name: str) -> None:
+        """Drop one row, filling the hole with the last row (order-free)."""
+        row = self._rows.pop(name, None)
+        if row is None:
+            return
+        last = self._size - 1
+        if row != last:
+            moved = self._names[last]
+            for col in self._COLUMNS:
+                column = getattr(self, col)
+                column[row] = column[last]
+            self._names[row] = moved
+            self._rows[moved] = row
+        self._names.pop()
+        self._size = last
 
     def __len__(self) -> int:
-        return len(self._anchors)
+        return self._size
 
     @property
     def hit_rate(self) -> float:
@@ -97,38 +170,173 @@ class IncrementalScanCache:
 
         Folds any newly appended points into the series' screen (O(n))
         either way; a ``False`` return is a cache hit — the previous
-        "no candidate" outcome still stands.
+        "no candidate" outcome still stands.  One-series view of
+        :meth:`screen_batch`, so a series screened alone or inside a
+        batch reaches the same decision with the same counter updates.
         """
-        anchor = self._anchors.get(series.name)
-        if anchor is None:
-            self.misses += 1
-            return True
-        n = len(series)
-        if (
-            n < anchor.anchor_len
-            or anchor.anchor_len == 0
-            or series.timestamp_at(anchor.anchor_len - 1) != anchor.anchor_end
-        ):
-            # History was rewritten under the anchor (retention, backfill,
-            # or a restore): the screen's reference is no longer valid.
-            self.invalidations += 1
-            del self._anchors[series.name]
-            self.misses += 1
-            return True
-        new_values = series.tail_values(anchor.anchor_len)
-        if new_values.size:
-            anchor.screen.update_many(new_values)
-            anchor.anchor_len = n
-            anchor.anchor_end = series.timestamp_at(n - 1)
-        if (
-            anchor.had_candidate
-            or anchor.screen.fired
-            or (now - anchor.full_scan_at) >= self.max_staleness
-        ):
-            self.misses += 1
-            return True
-        self.hits += 1
-        return False
+        return self.screen_batch([series], now)[series.name]
+
+    def screen_batch(
+        self, series_list: Sequence[TimeSeries], now: float
+    ) -> Dict[str, bool]:
+        """Batch :meth:`should_scan` over many series at once.
+
+        This is the shard-advance hot path.  The per-series screens are
+        stacked into ``(k, n)`` matrices (grouped by new-point count —
+        fleet cadence means most series gained the same number of
+        points since the last scan) and advanced with one vectorized
+        :func:`~repro.stats.incremental.cusum_screen_batch` call per
+        group; screen-state writeback, scan decisions, and the
+        hit/miss/invalidation counters are whole-batch array ops on the
+        column store.  Decisions and counters are identical to calling
+        :meth:`should_scan` in sequence.  Series names must be unique
+        within one batch (the TSDB guarantees this).
+
+        Returns:
+            ``{series.name: must_scan}`` for every series passed in.
+        """
+        decisions: Dict[str, bool] = {}
+        rows_map = self._rows
+        c_anchor_len = self._c_anchor_len
+        c_anchor_end = self._c_anchor_end
+        c_fired = self._c_fired
+        c_n = self._c_n
+        if len(series_list) > 64 and self._size:
+            # Large batch: one bulk tolist() per hot column turns the
+            # per-series scalar reads below into plain list indexing
+            # (several numpy scalar boxings cheaper per series).  The
+            # snapshots are read-only — each series appears at most once
+            # per batch, so they can never be read after a write.
+            r_anchor_len = c_anchor_len[: self._size].tolist()
+            r_anchor_end = c_anchor_end[: self._size].tolist()
+            r_fired = c_fired[: self._size].tolist()
+        else:
+            r_anchor_len, r_anchor_end, r_fired = c_anchor_len, c_anchor_end, c_fired
+        misses = 0
+        invalidations = 0
+        invalidated: List[str] = []
+        # Rows whose screen needed no matrix fold (no new points, or
+        # already latched): decided together in one vectorized pass.
+        settled_names: List[str] = []
+        settled_rows: List[int] = []
+        # width -> (names, rows, tail views, new end stamps); the new
+        # anchor length per row is just anchor_len + width, so it needs
+        # no per-series collection.
+        groups: Dict[
+            int,
+            Tuple[List[str], List[int], List[np.ndarray], List[float]],
+        ] = {}
+        # Nearly every series in a fleet gains the same number of points
+        # between advances, so the active group is cached across loop
+        # iterations instead of re-fetched per series.
+        open_width = -1
+        g_names = g_rows = g_tails = g_ends = None
+
+        for series in series_list:
+            name = series.name
+            row = rows_map.get(name)
+            if row is None:
+                misses += 1
+                decisions[name] = True
+                continue
+            # Hot path: reach straight into the columnar buffers — one
+            # attribute read instead of a method call per field, at
+            # thousands of series per advance.
+            ts = series._timestamps
+            buf = ts._buffer
+            n = ts._length
+            anchor_len = r_anchor_len[row]
+            if (
+                n < anchor_len
+                or anchor_len == 0
+                or buf[anchor_len - 1] != r_anchor_end[row]
+            ):
+                # History was rewritten under the anchor (retention,
+                # backfill, or a restore): the screen's reference is no
+                # longer valid.  Removal is deferred so row indices
+                # collected above stay stable for the whole batch.
+                invalidations += 1
+                misses += 1
+                invalidated.append(name)
+                decisions[name] = True
+                continue
+            if n > anchor_len:
+                if r_fired[row]:
+                    # Latched screen: the scalar fold consumes a single
+                    # point and stays fired; no matrix work needed.
+                    c_n[row] += 1
+                    c_anchor_len[row] = n
+                    c_anchor_end[row] = buf[n - 1]
+                    settled_names.append(name)
+                    settled_rows.append(row)
+                else:
+                    width = int(n - anchor_len)
+                    if width != open_width:
+                        group = groups.get(width)
+                        if group is None:
+                            group = groups[width] = ([], [], [], [])
+                        g_names, g_rows, g_tails, g_ends = group
+                        open_width = width
+                    g_names.append(name)
+                    g_rows.append(row)
+                    g_tails.append(series._values._buffer[anchor_len:n])
+                    g_ends.append(buf[n - 1])
+            else:
+                settled_names.append(name)
+                settled_rows.append(row)
+
+        hits = 0
+        for width, (g_names, g_rows, g_tails, g_ends) in groups.items():
+            idx = np.fromiter(g_rows, dtype=np.intp, count=len(g_rows))
+            # concatenate + reshape beats np.stack here: same (k, n)
+            # matrix without a per-row expand_dims wrapper, and every
+            # row in a group has the same width by construction.
+            pos_out, neg_out, fired_at = cusum_screen_batch(
+                np.concatenate(g_tails).reshape(len(g_rows), width),
+                self._c_mean[idx],
+                self._c_std[idx],
+                self._c_pos[idx],
+                self._c_neg[idx],
+                self.drift,
+                self.threshold,
+            )
+            fired_rows = fired_at >= 0
+            self._c_pos[idx] = pos_out
+            self._c_neg[idx] = neg_out
+            c_fired[idx] = fired_rows
+            # n counts through the firing point and freezes consumption
+            # there, matching StreamingCusum.apply_batch_result.
+            c_n[idx] += np.where(fired_rows, fired_at + 1, width)
+            c_anchor_len[idx] += width
+            c_anchor_end[idx] = g_ends
+            must = (
+                self._c_had_candidate[idx]
+                | fired_rows
+                | ((now - self._c_full_scan_at[idx]) >= self.max_staleness)
+            )
+            forced = int(np.count_nonzero(must))
+            misses += forced
+            hits += len(g_rows) - forced
+            decisions.update(zip(g_names, must.tolist()))
+
+        if settled_rows:
+            idx = np.fromiter(settled_rows, dtype=np.intp, count=len(settled_rows))
+            must = (
+                self._c_had_candidate[idx]
+                | c_fired[idx]
+                | ((now - self._c_full_scan_at[idx]) >= self.max_staleness)
+            )
+            forced = int(np.count_nonzero(must))
+            misses += forced
+            hits += len(settled_rows) - forced
+            decisions.update(zip(settled_names, must.tolist()))
+
+        self.hits += hits
+        self.misses += misses
+        self.invalidations += invalidations
+        for name in invalidated:
+            self._remove(name)
+        return decisions
 
     def record_full_scan(
         self,
@@ -146,25 +354,60 @@ class IncrementalScanCache:
         """
         if len(series) == 0:
             return
-        self._anchors[series.name] = _SeriesAnchor(
-            anchor_end=series.timestamp_at(-1),
-            anchor_len=len(series),
-            full_scan_at=now,
-            had_candidate=had_candidate,
-            screen=StreamingCusum.from_reference(
-                analysis_values, drift=self.drift, threshold=self.threshold
-            ),
-        )
+        x = np.asarray(analysis_values, dtype=float)
+        row = self._rows.get(series.name)
+        if row is None:
+            if self._size == len(self._c_anchor_end):
+                self._grow()
+            row = self._size
+            self._size += 1
+            self._rows[series.name] = row
+            self._names.append(series.name)
+        self._c_anchor_end[row] = series.timestamp_at(-1)
+        self._c_anchor_len[row] = len(series)
+        self._c_full_scan_at[row] = now
+        self._c_had_candidate[row] = bool(had_candidate)
+        # Same reference moments as StreamingCusum.from_reference.
+        self._c_mean[row] = x.mean() if x.size else 0.0
+        self._c_std[row] = x.std() if x.size else 0.0
+        self._c_pos[row] = 0.0
+        self._c_neg[row] = 0.0
+        self._c_fired[row] = False
+        self._c_n[row] = 0
+
+    def screen_state(self, name: str) -> Optional[Dict[str, float]]:
+        """One series' anchor + screen state as a plain dict, or None.
+
+        Debug/bench surface: exposes a column-store row without leaking
+        the storage layout.
+        """
+        row = self._rows.get(name)
+        if row is None:
+            return None
+        return {
+            "anchor_end": float(self._c_anchor_end[row]),
+            "anchor_len": int(self._c_anchor_len[row]),
+            "full_scan_at": float(self._c_full_scan_at[row]),
+            "had_candidate": bool(self._c_had_candidate[row]),
+            "mean": float(self._c_mean[row]),
+            "std": float(self._c_std[row]),
+            "pos": float(self._c_pos[row]),
+            "neg": float(self._c_neg[row]),
+            "fired": bool(self._c_fired[row]),
+            "n": int(self._c_n[row]),
+        }
 
     def forget(self, name: str) -> None:
         """Drop one series' anchor (e.g. the series was deleted)."""
-        self._anchors.pop(name, None)
+        self._remove(name)
 
     def clear(self) -> None:
         """Drop every anchor (restore path: derived state is rebuilt)."""
-        if self._anchors:
-            self.invalidations += len(self._anchors)
-        self._anchors.clear()
+        if self._size:
+            self.invalidations += self._size
+        self._rows.clear()
+        self._names.clear()
+        self._size = 0
 
     def counters(self) -> Dict[str, int]:
         """Hit/miss/invalidation counters as a plain dict."""
@@ -172,5 +415,70 @@ class IncrementalScanCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
-            "anchors": len(self._anchors),
+            "anchors": self._size,
         }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle support: columns compact to the live prefix."""
+        return {
+            "max_staleness": self.max_staleness,
+            "drift": self.drift,
+            "threshold": self.threshold,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "names": list(self._names),
+            "columns": {
+                col: getattr(self, col)[: self._size].copy()
+                for col in self._COLUMNS
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_staleness = state["max_staleness"]
+        self.drift = state["drift"]
+        self.threshold = state["threshold"]
+        self.hits = state.get("hits", 0)
+        self.misses = state.get("misses", 0)
+        self.invalidations = state.get("invalidations", 0)
+        self._rows = {}
+        self._names = []
+        self._size = 0
+        if "_anchors" in state:
+            # Checkpoint from the pre-columnar layout: one Python object
+            # per series.  Adopt each into a column row.
+            anchors = state["_anchors"]
+            self._alloc(max(_MIN_ROWS, len(anchors)))
+            for name, anchor in anchors.items():
+                self._adopt_legacy(name, anchor)
+            return
+        names = state["names"]
+        columns = state["columns"]
+        size = len(names)
+        self._alloc(max(_MIN_ROWS, size))
+        for col in self._COLUMNS:
+            getattr(self, col)[:size] = columns[col]
+        self._names = list(names)
+        self._rows = {name: row for row, name in enumerate(names)}
+        self._size = size
+
+    def _adopt_legacy(self, name: str, anchor: _SeriesAnchor) -> None:
+        row = self._size
+        self._size += 1
+        self._rows[name] = row
+        self._names.append(name)
+        screen = anchor.screen
+        self._c_anchor_end[row] = anchor.anchor_end
+        self._c_anchor_len[row] = anchor.anchor_len
+        self._c_full_scan_at[row] = anchor.full_scan_at
+        self._c_had_candidate[row] = anchor.had_candidate
+        self._c_mean[row] = screen.mean
+        self._c_std[row] = screen.std
+        self._c_pos[row] = screen.pos
+        self._c_neg[row] = screen.neg
+        self._c_fired[row] = screen.fired
+        self._c_n[row] = screen.n

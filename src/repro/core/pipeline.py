@@ -264,14 +264,37 @@ class DetectionPipeline:
         )
 
         stage_started = time.perf_counter()
-        for series in self._matching_series(database):
-            if self.quality_gate is not None and self._evict_if_stale(series, now):
-                # Evicted from scheduling until it resumes: a dead host
-                # must cost nothing per tick and never alert.
-                if trace is not None:
-                    trace["change_points"].observe(False, "stale_series")
-                continue
-            candidate = self._short_term(series, now, funnel, trace)
+        # Pass 1: staleness eviction, before any screen state is touched
+        # (an evicted series must cost nothing and fold nothing).
+        scannable: List[TimeSeries]
+        if self.quality_gate is not None:
+            scannable = []
+            for series in self._matching_series(database):
+                if self._evict_if_stale(series, now):
+                    # Evicted from scheduling until it resumes: a dead
+                    # host must cost nothing per tick and never alert.
+                    if trace is not None:
+                        trace["change_points"].observe(False, "stale_series")
+                    continue
+                scannable.append(series)
+        else:
+            scannable = self._matching_series(database)
+        # Pass 2: one vectorized screen over every scannable series —
+        # thousands of per-series CUSUM folds become a few array ops.
+        decisions = (
+            self.incremental_cache.screen_batch(scannable, now)
+            if self.incremental_cache is not None
+            else None
+        )
+        # Pass 3: full windowed scans where the screen demanded one.
+        for series in scannable:
+            candidate = self._short_term(
+                series,
+                now,
+                funnel,
+                trace,
+                must_scan=None if decisions is None else decisions[series.name],
+            )
             if candidate is not None:
                 candidates.append(candidate)
             if self.config.long_term:
@@ -492,10 +515,16 @@ class DetectionPipeline:
         now: float,
         funnel: FunnelCounters,
         trace: Optional[Dict[str, StageTally]] = None,
+        must_scan: Optional[bool] = None,
     ) -> Optional[Regression]:
         cache = self.incremental_cache
         if cache is not None:
-            if not cache.should_scan(series, now):
+            # ``must_scan`` carries a decision precomputed by the batch
+            # screen in :meth:`run`; direct callers leave it ``None`` and
+            # the cache is consulted per series instead.
+            if must_scan is None:
+                must_scan = cache.should_scan(series, now)
+            if not must_scan:
                 # Cache hit: the screen saw no shift in the new points and
                 # the previous full scan found nothing — skip the O(W) path.
                 if self.metrics is not None:

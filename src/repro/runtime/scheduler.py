@@ -291,10 +291,20 @@ class DetectionScheduler:
                 self.metrics.inc("scheduler.regressions_reported", len(result.reported))
             return ScanOutcome(monitor=monitor.name, now=now, result=result)
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            for outcome in pool.map(scan, monitors):
+        if len(monitors) == 1 or self.max_workers == 1:
+            # The overwhelmingly common shape — one monitor due per tick
+            # on a shard — must not pay thread-pool setup/teardown per
+            # advance.  Order matches pool.map (submission order), so
+            # outcomes are identical either way.
+            for monitor in monitors:
+                outcome = scan(monitor)
                 if outcome is not None:
                     outcomes.append(outcome)
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                for outcome in pool.map(scan, monitors):
+                    if outcome is not None:
+                        outcomes.append(outcome)
 
         if self.keep_outcomes:
             with self._lock:

@@ -40,14 +40,23 @@ from repro.stats.changepoint_dp import (
     normal_segment_loss,
 )
 from repro.stats.correlation import aligned_pearson, pearson
-from repro.stats.cusum import CusumResult, cusum_changepoint, cusum_statistic
-from repro.stats.descriptive import percentile, summarize
+from repro.stats.cusum import (
+    CusumResult,
+    cusum_changepoint,
+    cusum_changepoint_batch,
+    cusum_statistic,
+)
+from repro.stats.descriptive import percentile, summarize, summarize_batch
 from repro.stats.e_divisive import EDivisiveResult, best_e_divisive_split, e_divisive_test
 from repro.stats.em import em_mean_split
 from repro.stats.hypothesis import LikelihoodRatioResult, likelihood_ratio_test
-from repro.stats.incremental import RunningMoments, StreamingCusum
+from repro.stats.incremental import (
+    RunningMoments,
+    StreamingCusum,
+    cusum_screen_batch,
+)
 from repro.stats.mann_kendall import MannKendallResult, mann_kendall_test
-from repro.stats.robust import mad, mad_threshold
+from repro.stats.robust import mad, mad_batch, mad_threshold, mad_threshold_batch
 from repro.stats.sax import SaxEncoding, sax_encode
 from repro.stats.stl import STLResult, loess_smooth, stl_decompose
 from repro.stats.theil_sen import TheilSenFit, theil_sen
@@ -68,6 +77,8 @@ __all__ = [
     "best_e_divisive_split",
     "best_split_normal_loss",
     "cusum_changepoint",
+    "cusum_changepoint_batch",
+    "cusum_screen_batch",
     "cusum_statistic",
     "detect_season_length",
     "e_divisive_test",
@@ -76,7 +87,9 @@ __all__ = [
     "likelihood_ratio_test",
     "loess_smooth",
     "mad",
+    "mad_batch",
     "mad_threshold",
+    "mad_threshold_batch",
     "mann_kendall_test",
     "multi_split_normal_loss",
     "normal_segment_loss",
@@ -85,5 +98,6 @@ __all__ = [
     "sax_encode",
     "stl_decompose",
     "summarize",
+    "summarize_batch",
     "theil_sen",
 ]

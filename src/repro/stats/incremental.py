@@ -3,29 +3,43 @@
 The offline detector (:mod:`repro.stats.cusum` + :mod:`repro.stats.em`)
 re-processes a whole analysis window on every scan — O(W) per scan even
 when only a handful of points arrived since the last one.  This module
-provides the O(1)-per-point primitives that let the pipeline's
-incremental scan cache (:mod:`repro.core.incremental`) amortize that
-cost to O(n) for n new points:
+provides the primitives that let the pipeline's incremental scan cache
+(:mod:`repro.core.incremental`) amortize that cost to O(n) for n new
+points:
 
 - :class:`RunningMoments` — Welford's online mean/variance, numerically
-  stable, O(1) per update.
+  stable, O(1) per update, with a Chan-merge batch fold.
 - :class:`StreamingCusum` — Page's two-sided CUSUM test anchored on a
-  reference mean/std.  It accumulates evidence of a mean shift one point
-  at a time; once the statistic crosses the threshold it stays *fired*
-  until re-anchored, signalling that a full offline scan is warranted.
+  reference mean/std.  It accumulates evidence of a mean shift; once the
+  statistic crosses the threshold it stays *fired* until re-anchored,
+  signalling that a full offline scan is warranted.
+- :func:`cusum_screen_batch` — the vectorized core: one (k, n) array op
+  advances k anchored screens by n points each, which is how a shard
+  screens thousands of series per advance without a per-series Python
+  loop.
 
-Both classes are plain-attribute objects, so they pickle cleanly inside
+Page's recursion ``S_t = max(0, S_{t-1} + a_t)`` vectorizes exactly via
+the running-minimum identity: with ``P_t = S_0 + (a_1 + ... + a_t)``,
+
+    ``S_t = P_t - min(0, min_{j<=t} P_j)``
+
+so one ``cumsum`` plus one ``minimum.accumulate`` replaces the per-point
+loop.  :meth:`StreamingCusum.update_many` routes through the same
+batched kernel as :func:`cusum_screen_batch`, so folding a series alone
+or inside a (k, n) matrix produces bit-identical state.
+
+All classes are plain-attribute objects, so they pickle cleanly inside
 shard checkpoints and across process-pool boundaries.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["RunningMoments", "StreamingCusum"]
+__all__ = ["RunningMoments", "StreamingCusum", "cusum_screen_batch"]
 
 
 class RunningMoments:
@@ -52,8 +66,18 @@ class RunningMoments:
         self._m2 += delta * (value - self.mean)
 
     def update_many(self, values: Sequence[float]) -> None:
-        for value in np.asarray(values, dtype=float):
-            self.update(float(value))
+        """Fold a batch in with Chan's parallel merge (one pass, no loop)."""
+        x = np.asarray(values, dtype=float).ravel()
+        m = int(x.size)
+        if m == 0:
+            return
+        batch_mean = float(x.mean())
+        batch_m2 = float(((x - batch_mean) ** 2).sum())
+        total = self.n + m
+        delta = batch_mean - self.mean
+        self.mean += delta * (m / total)
+        self._m2 += batch_m2 + delta * delta * (self.n * m / total)
+        self.n = total
 
     @property
     def variance(self) -> float:
@@ -65,14 +89,101 @@ class RunningMoments:
         return math.sqrt(self.variance)
 
 
+def cusum_screen_batch(
+    values: np.ndarray,
+    means: np.ndarray,
+    stds: np.ndarray,
+    pos: np.ndarray,
+    neg: np.ndarray,
+    drift: float,
+    threshold: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Advance ``k`` anchored two-sided CUSUM screens by ``n`` points each.
+
+    Args:
+        values: ``(k, n)`` matrix — row ``i`` holds the new points for
+            screen ``i`` in arrival order.
+        means: ``(k,)`` reference means (anchors).
+        stds: ``(k,)`` reference standard deviations; a row with
+            ``std <= 0`` is degenerate — it fires on any value different
+            from its mean and its evidence sums stay untouched.
+        pos: ``(k,)`` current positive evidence (``S+``).
+        neg: ``(k,)`` current negative evidence (``S-``).
+        drift: Allowance ``k`` in reference standard deviations.
+        threshold: Decision interval ``h`` in reference standard
+            deviations.
+
+    Returns:
+        ``(pos_out, neg_out, fired_at)`` — the evidence sums after the
+        fold and, per row, the index of the first point at which the
+        screen crossed ``threshold`` (``-1`` when it never did).  On a
+        firing row the sums freeze at the crossing point, matching the
+        scalar fold's early exit.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"values must be (k, n), got shape {x.shape}")
+    k, n = x.shape
+    means = np.asarray(means, dtype=float)
+    stds = np.asarray(stds, dtype=float)
+    pos = np.asarray(pos, dtype=float)
+    neg = np.asarray(neg, dtype=float)
+
+    degenerate = stds <= 0.0
+    safe_stds = np.where(degenerate, 1.0, stds)
+    # The fold below is the same math as the readable form
+    #
+    #     z = (x - means) / stds
+    #     up = pos + cumsum(z - drift);   pos_path = up - min(0, runmin(up))
+    #     down = neg + cumsum(-z - drift); neg_path = down - min(0, runmin(down))
+    #
+    # but reuses two (k, n) scratch buffers per side instead of
+    # allocating ~10 of them: on the hot batch-screen path the matrices
+    # are tens of MB and first-touch page faults would otherwise rival
+    # the arithmetic itself.  Every operation (and its order) is
+    # unchanged, so results stay bit-identical.
+    z = x - means[:, None]
+    z /= safe_stds[:, None]
+    mz = -z
+    mz -= drift
+    z -= drift
+
+    np.cumsum(z, axis=1, out=z)
+    z += pos[:, None]
+    run = np.minimum.accumulate(z, axis=1)
+    np.minimum(run, 0.0, out=run)
+    np.subtract(z, run, out=run)
+    pos_path = run
+
+    np.cumsum(mz, axis=1, out=mz)
+    mz += neg[:, None]
+    run = np.minimum.accumulate(mz, axis=1)
+    np.minimum(run, 0.0, out=run)
+    np.subtract(mz, run, out=run)
+    neg_path = run
+
+    crossed = pos_path >= threshold
+    crossed |= neg_path >= threshold
+    if degenerate.any():
+        crossed[degenerate] = x[degenerate] != means[degenerate][:, None]
+
+    fired_rows = crossed.any(axis=1)
+    fired_at = np.where(fired_rows, np.argmax(crossed, axis=1), -1)
+    stop = np.where(fired_at >= 0, fired_at, n - 1)
+    rows = np.arange(k)
+    pos_out = np.where(degenerate, pos, pos_path[rows, stop])
+    neg_out = np.where(degenerate, neg, neg_path[rows, stop])
+    return pos_out, neg_out, fired_at
+
+
 class StreamingCusum:
     """Page's two-sided CUSUM test with an anchored reference.
 
     Tracks the classic recursions over standardized deviations
     ``z = (x - mean) / std``::
 
-        S+ = max(0, S+ + z - drift)
-        S- = max(0, S- - z - drift)
+        S+ = max(0, S+ + (z - drift))
+        S- = max(0, S- + (-z - drift))
 
     and fires when either side reaches ``threshold``.  ``drift`` (the
     allowance ``k``) absorbs noise around the reference mean; the
@@ -142,18 +253,59 @@ class StreamingCusum:
                 self.fired = True
             return self.fired
         z = (value - self.mean) / self.std
-        self.pos = max(0.0, self.pos + z - self.drift)
-        self.neg = max(0.0, self.neg - z - self.drift)
+        # Same association as the vectorized kernel (z - drift first),
+        # so scalar and batched folds stay bit-identical.
+        self.pos = max(0.0, self.pos + (z - self.drift))
+        self.neg = max(0.0, self.neg + (-z - self.drift))
         if self.pos >= self.threshold or self.neg >= self.threshold:
             self.fired = True
         return self.fired
 
     def update_many(self, values: Sequence[float]) -> bool:
-        """Fold a batch in (O(n)); returns :attr:`fired`."""
-        for value in np.asarray(values, dtype=float):
-            if self.update(float(value)):
-                break
+        """Fold a batch in (vectorized, O(n) work); returns :attr:`fired`.
+
+        Stops consuming at the first firing point, like the scalar fold:
+        :attr:`n` counts points up to and including the one that fired,
+        and the evidence sums freeze at their firing values.  A screen
+        that is already fired consumes a single point (the scalar fold's
+        early exit) and stays latched.
+        """
+        x = np.asarray(values, dtype=float).ravel()
+        if x.size == 0:
+            return self.fired
+        if self.fired:
+            self.n += 1
+            return True
+        self.apply_batch_result(
+            *(arr[0] for arr in cusum_screen_batch(
+                x[None, :],
+                np.array([self.mean]),
+                np.array([self.std]),
+                np.array([self.pos]),
+                np.array([self.neg]),
+                self.drift,
+                self.threshold,
+            )),
+            batch_size=int(x.size),
+        )
         return self.fired
+
+    def apply_batch_result(
+        self, pos: float, neg: float, fired_at: int, batch_size: int
+    ) -> None:
+        """Adopt one row of a :func:`cusum_screen_batch` fold.
+
+        The batch-screen path computes evidence for many screens at
+        once and writes each row's outcome back through here, keeping
+        the state transition identical to :meth:`update_many`.
+        """
+        self.pos = float(pos)
+        self.neg = float(neg)
+        if fired_at >= 0:
+            self.fired = True
+            self.n += int(fired_at) + 1
+        else:
+            self.n += batch_size
 
     def reanchor(self, mean: float, std: float) -> None:
         """Reset the accumulated evidence around a new reference."""

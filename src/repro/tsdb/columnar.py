@@ -1,0 +1,165 @@
+"""Growable contiguous float64 columns backing the TSDB hot path.
+
+A :class:`FloatColumn` is the storage primitive behind
+:class:`~repro.tsdb.series.TimeSeries`: one contiguous numpy ``float64``
+buffer with amortized-doubling capacity, so appends are O(1) amortized
+and every read the scan path cares about — tail values since the last
+scan, window slices, coverage timestamps — is a zero-copy view into the
+live buffer instead of a per-point list-to-array conversion.
+
+Invariants the rest of the stack relies on:
+
+- **Views are read-only.**  Every array returned by :meth:`view` has
+  ``writeable=False``; consumers that need to mutate (orientation flips,
+  windowed snapshots) copy explicitly.
+- **Growth reallocates, compaction reallocates.**  Doubling and
+  :meth:`replace` both swap in a *fresh* buffer, so a view handed out
+  earlier keeps seeing the exact bytes it was created over — it can go
+  stale (miss newer appends) but never see shifted or reused memory.
+- **In-place overwrite is the only mutation views can observe.**
+  Last-write-wins duplicate resolution rewrites one cell of the live
+  buffer; callers that must not observe it (stored window snapshots)
+  take copies at the boundary (``WindowSpec.view``).
+- **Pickles are compact.**  Only the live prefix round-trips through
+  ``__getstate__`` — slack capacity never rides shard checkpoints or
+  worker round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["FloatColumn"]
+
+#: Smallest non-zero capacity; doubling starts here.
+_MIN_CAPACITY = 8
+
+
+class FloatColumn:
+    """A growable contiguous ``float64`` column (amortized O(1) append)."""
+
+    __slots__ = ("_buffer", "_length")
+
+    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
+        if values is None:
+            self._buffer = np.empty(0, dtype=np.float64)
+            self._length = 0
+        else:
+            self._buffer = np.array(values, dtype=np.float64).ravel()
+            self._length = int(self._buffer.size)
+
+    # -- size ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (always >= ``len(self)``)."""
+        return int(self._buffer.size)
+
+    def _grow_to(self, needed: int) -> None:
+        """Reallocate to a doubled capacity holding at least ``needed``."""
+        cap = max(self._buffer.size, _MIN_CAPACITY)
+        while cap < needed:
+            cap *= 2
+        fresh = np.empty(cap, dtype=np.float64)
+        fresh[: self._length] = self._buffer[: self._length]
+        self._buffer = fresh
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, value: float) -> None:
+        """Append one value (amortized O(1))."""
+        if self._length == self._buffer.size:
+            self._grow_to(self._length + 1)
+        self._buffer[self._length] = value
+        self._length += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Bulk-append ``values`` with one memcpy (amortized O(m))."""
+        m = int(values.size)
+        if m == 0:
+            return
+        if self._length + m > self._buffer.size:
+            self._grow_to(self._length + m)
+        self._buffer[self._length : self._length + m] = values
+        self._length += m
+
+    def set(self, index: int, value: float) -> None:
+        """Overwrite one cell (negative indices supported)."""
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"column index {index} out of range")
+        self._buffer[index] = value
+
+    def insert(self, index: int, value: float) -> None:
+        """Insert at ``index``, shifting the tail right (O(n - index))."""
+        if self._length == self._buffer.size:
+            self._grow_to(self._length + 1)
+        self._buffer[index + 1 : self._length + 1] = self._buffer[
+            index : self._length
+        ]
+        self._buffer[index] = value
+        self._length += 1
+
+    def replace(self, values: np.ndarray) -> None:
+        """Adopt ``values`` as the new content, in a fresh buffer.
+
+        Used by backfill merges and retention compaction: outstanding
+        views keep pointing at the old buffer (stale but intact) rather
+        than observing shifted data.
+        """
+        self._buffer = np.array(values, dtype=np.float64).ravel()
+        self._length = int(self._buffer.size)
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, index: int) -> float:
+        """One value as a Python float (negative indices supported)."""
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"column index {index} out of range")
+        return float(self._buffer[index])
+
+    def view(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Zero-copy read-only view of ``[start, stop)``."""
+        if stop is None or stop > self._length:
+            stop = self._length
+        out = self._buffer[start:stop]
+        out.flags.writeable = False
+        return out
+
+    def array(self) -> np.ndarray:
+        """Writable copy of the live prefix."""
+        return np.array(self._buffer[: self._length])
+
+    def tolist(self) -> list:
+        """The live prefix as a list of Python floats."""
+        return self._buffer[: self._length].tolist()
+
+    def searchsorted(self, value: float, side: str = "left") -> int:
+        """Bisect over the live prefix (timestamps are kept sorted)."""
+        return int(np.searchsorted(self.view(), value, side=side))
+
+    # -- equality / pickling ------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FloatColumn):
+            return NotImplemented
+        return bool(np.array_equal(self.view(), other.view()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FloatColumn(len={self._length}, capacity={self.capacity})"
+
+    def __getstate__(self) -> np.ndarray:
+        # Compact: only the live prefix rides checkpoints and pools.
+        return self.array()
+
+    def __setstate__(self, state) -> None:
+        self._buffer = np.asarray(state, dtype=np.float64).ravel()
+        self._length = int(self._buffer.size)

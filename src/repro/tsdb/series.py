@@ -1,17 +1,26 @@
-"""A single append-only time series."""
+"""A single append-only time series, stored columnar.
+
+Points live in two parallel :class:`~repro.tsdb.columnar.FloatColumn`
+buffers (contiguous ``float64`` with amortized-doubling capacity), so
+the scan hot path — tail values since the last scan, window slices,
+coverage timestamps — reads zero-copy array views instead of converting
+Python lists point by point.  See :mod:`repro.tsdb.columnar` for the
+view-invalidation rules the buffers guarantee.
+"""
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.tsdb.columnar import FloatColumn
+
 __all__ = ["TimeSeries"]
 
 
-@dataclass
+@dataclass(eq=False)
 class TimeSeries:
     """An append-mostly series of ``(timestamp, value)`` points.
 
@@ -39,18 +48,43 @@ class TimeSeries:
     name: str
     tags: Dict[str, str] = field(default_factory=dict)
     duplicate_policy: str = "last_write_wins"
-    _timestamps: List[float] = field(default_factory=list, repr=False)
-    _values: List[float] = field(default_factory=list, repr=False)
+    _timestamps: FloatColumn = field(default_factory=FloatColumn, repr=False)
+    _values: FloatColumn = field(default_factory=FloatColumn, repr=False)
 
     def __post_init__(self) -> None:
         if self.duplicate_policy not in ("last_write_wins", "reject"):
             raise ValueError(f"unknown duplicate_policy {self.duplicate_policy!r}")
+        # Tolerate list/array-valued fields (old pickles, direct tests).
+        if not isinstance(self._timestamps, FloatColumn):
+            self._timestamps = FloatColumn(self._timestamps)
+        if not isinstance(self._values, FloatColumn):
+            self._values = FloatColumn(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.tags == other.tags
+            and self.duplicate_policy == other.duplicate_policy
+            and self._timestamps == other._timestamps
+            and self._values == other._values
+        )
 
     def __len__(self) -> int:
         return len(self._timestamps)
 
     def __iter__(self) -> Iterator[Tuple[float, float]]:
-        return iter(zip(self._timestamps, self._values))
+        return iter(zip(self._timestamps.tolist(), self._values.tolist()))
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # Checkpoints written by the list-backed storage carry plain
+        # lists in _timestamps/_values; normalize them into columns.
+        self.__dict__.update(state)
+        if not isinstance(self._timestamps, FloatColumn):
+            self._timestamps = FloatColumn(self._timestamps)
+        if not isinstance(self._values, FloatColumn):
+            self._values = FloatColumn(self._values)
 
     def append(self, timestamp: float, value: float) -> None:
         """Append a point; ``timestamp`` must be >= the last timestamp.
@@ -61,8 +95,9 @@ class TimeSeries:
             ValueError: On an out-of-order timestamp (use :meth:`insert`),
                 or on a repeated one under the ``reject`` policy.
         """
-        if self._timestamps:
-            last = self._timestamps[-1]
+        n = len(self._timestamps)
+        if n:
+            last = self._timestamps.get(-1)
             if timestamp < last:
                 raise ValueError(
                     f"out-of-order append at {timestamp} < {last}; "
@@ -70,7 +105,7 @@ class TimeSeries:
                 )
             if timestamp == last:
                 self._resolve_duplicate(timestamp)
-                self._values[-1] = float(value)
+                self._values.set(-1, float(value))
                 return
         self._timestamps.append(float(timestamp))
         self._values.append(float(value))
@@ -87,12 +122,12 @@ class TimeSeries:
         same timestamp resolves by ``duplicate_policy`` (last-write-wins
         overwrites in place, no shifting).  For *batches* of stragglers
         prefer :meth:`ingest_many`, which merges them in one O(n + m)
-        pass instead of m O(n) list inserts.
+        pass instead of m O(n) shifted inserts.
         """
-        pos = bisect.bisect_right(self._timestamps, timestamp)
-        if pos and self._timestamps[pos - 1] == timestamp:
+        pos = self._timestamps.searchsorted(timestamp, side="right")
+        if pos and self._timestamps.get(pos - 1) == timestamp:
             self._resolve_duplicate(timestamp)
-            self._values[pos - 1] = float(value)
+            self._values.set(pos - 1, float(value))
             return
         self._timestamps.insert(pos, float(timestamp))
         self._values.insert(pos, float(value))
@@ -100,31 +135,46 @@ class TimeSeries:
     def ingest_many(self, points: Iterable[Tuple[float, float]]) -> int:
         """Bulk-append ``points``, tolerating stragglers.
 
-        The streaming ingest path: in-order points take the append fast
-        path; out-of-order ones (late arrivals from concurrent producers
-        or a reordering buffer) are collected and merged into place in a
-        single sorted O(n + m) pass at the end, instead of paying an
-        O(n) list insert per straggler.
+        The streaming ingest path.  A strictly-in-order batch — the
+        overwhelmingly common case once the admission layer's reordering
+        buffer has done its job — lands as one vectorized bulk append
+        (two memcpys).  Anything else (duplicates, late arrivals from
+        concurrent producers) falls back to the per-point path: in-order
+        points append, out-of-order ones are collected and merged into
+        place in a single sorted O(n + m) pass at the end.
 
         Returns:
             Number of points written (last-write-wins overwrites count —
             every accepted point is accounted for).
         """
-        timestamps, values = self._timestamps, self._values
-        last = timestamps[-1] if timestamps else float("-inf")
+        batch = points if isinstance(points, list) else list(points)
+        m = len(batch)
+        if m == 0:
+            return 0
+        arr = np.array(batch, dtype=np.float64)
+        ts = np.ascontiguousarray(arr[:, 0])
+        vals = np.ascontiguousarray(arr[:, 1])
+        n = len(self._timestamps)
+        last = self._timestamps.get(-1) if n else float("-inf")
+        if ts[0] > last and (m == 1 or bool(np.all(ts[1:] > ts[:-1]))):
+            self._timestamps.extend(ts)
+            self._values.extend(vals)
+            return m
+        # Dirty batch: per-point semantics (duplicate resolution order,
+        # partial state on reject) must match the scalar path exactly.
         written = 0
         stragglers: List[Tuple[float, float]] = []
-        for timestamp, value in points:
-            timestamp = float(timestamp)
+        for k in range(m):
+            timestamp = float(ts[k])
             if timestamp > last:
-                timestamps.append(timestamp)
-                values.append(float(value))
+                self._timestamps.append(timestamp)
+                self._values.append(float(vals[k]))
                 last = timestamp
             elif timestamp == last:
                 self._resolve_duplicate(timestamp)
-                values[-1] = float(value)
+                self._values.set(-1, float(vals[k]))
             else:
-                stragglers.append((timestamp, float(value)))
+                stragglers.append((timestamp, float(vals[k])))
             written += 1
         if stragglers:
             self._merge_backfill(stragglers)
@@ -143,45 +193,39 @@ class TimeSeries:
 
         ``points`` may be unsorted and may repeat timestamps present in
         the series or among themselves; repeats resolve by
-        ``duplicate_policy`` (for last-write-wins, arrival order within
-        ``points`` is preserved by the stable sort, so the latest
-        arrival wins).
+        ``duplicate_policy``.  The merge is a vectorized stable sort
+        over (existing + incoming) with keep-last duplicate collapse:
+        existing points sort before incoming ones at equal timestamps
+        and incoming points keep arrival order, so under last-write-wins
+        the latest arrival survives — exactly the scalar merge's
+        resolution order.  Nothing is published until the merge
+        completes, so a ``reject`` raise leaves the series untouched.
         """
-        points.sort(key=lambda point: point[0])
-        old_ts, old_vals = self._timestamps, self._values
-        merged_ts: List[float] = []
-        merged_vals: List[float] = []
-
-        def emit(timestamp: float, value: float) -> None:
-            if merged_ts and merged_ts[-1] == timestamp:
-                self._resolve_duplicate(timestamp)
-                merged_vals[-1] = value
-                return
-            merged_ts.append(timestamp)
-            merged_vals.append(value)
-
-        i = j = 0
-        while i < len(old_ts) and j < len(points):
-            if points[j][0] < old_ts[i]:
-                emit(*points[j])
-                j += 1
-            else:
-                emit(old_ts[i], old_vals[i])
-                i += 1
-        while i < len(old_ts):
-            emit(old_ts[i], old_vals[i])
-            i += 1
-        while j < len(points):
-            emit(*points[j])
-            j += 1
-        self._timestamps = merged_ts
-        self._values = merged_vals
+        incoming = np.array(points, dtype=np.float64)
+        in_ts = incoming[:, 0]
+        in_vals = incoming[:, 1]
+        arrival = np.argsort(in_ts, kind="stable")
+        all_ts = np.concatenate([self._timestamps.view(), in_ts[arrival]])
+        all_vals = np.concatenate([self._values.view(), in_vals[arrival]])
+        order = np.argsort(all_ts, kind="stable")
+        sorted_ts = all_ts[order]
+        sorted_vals = all_vals[order]
+        dup_next = sorted_ts[1:] == sorted_ts[:-1]
+        if dup_next.any():
+            if self.duplicate_policy == "reject":
+                first = int(np.argmax(dup_next))
+                self._resolve_duplicate(float(sorted_ts[first]))
+            keep = np.concatenate([~dup_next, [True]])
+            sorted_ts = sorted_ts[keep]
+            sorted_vals = sorted_vals[keep]
+        self._timestamps.replace(sorted_ts)
+        self._values.replace(sorted_vals)
 
     def latest(self) -> Optional[Tuple[float, float]]:
         """The most recent ``(timestamp, value)`` point, if any."""
-        if not self._timestamps:
+        if not len(self._timestamps):
             return None
-        return self._timestamps[-1], self._values[-1]
+        return self._timestamps.get(-1), self._values.get(-1)
 
     def timestamp_at(self, index: int) -> float:
         """The timestamp at position ``index`` (supports negatives).
@@ -189,67 +233,76 @@ class TimeSeries:
         Raises:
             IndexError: When the position does not exist.
         """
-        return self._timestamps[index]
+        return self._timestamps.get(index)
 
     def tail_values(self, start: int) -> np.ndarray:
-        """Values from position ``start`` to the end, as a numpy array.
+        """Values from position ``start`` to the end (zero-copy view).
 
         The incremental-scan fast path: with ``start`` set to the length
         at the previous scan, this returns exactly the points appended
-        since — O(n) in the number of *new* points, not series length.
+        since — O(1), no per-point conversion.  The view is read-only
+        and must be consumed before the series is mutated again.
         """
-        return np.asarray(self._values[start:], dtype=float)
+        return self._values.view(start)
 
     @property
     def timestamps(self) -> np.ndarray:
         """Timestamps as a numpy array (copy)."""
-        return np.asarray(self._timestamps, dtype=float)
+        return self._timestamps.array()
 
     @property
     def values(self) -> np.ndarray:
         """Values as a numpy array (copy)."""
-        return np.asarray(self._values, dtype=float)
+        return self._values.array()
 
     @property
     def start(self) -> Optional[float]:
-        return self._timestamps[0] if self._timestamps else None
+        return self._timestamps.get(0) if len(self._timestamps) else None
 
     @property
     def end(self) -> Optional[float]:
-        return self._timestamps[-1] if self._timestamps else None
+        return self._timestamps.get(-1) if len(self._timestamps) else None
 
     def between(self, start: float, end: float) -> "TimeSeries":
-        """Sub-series with timestamps in ``[start, end)``."""
-        lo = bisect.bisect_left(self._timestamps, start)
-        hi = bisect.bisect_left(self._timestamps, end)
+        """Sub-series with timestamps in ``[start, end)`` (own storage)."""
+        lo = self._timestamps.searchsorted(start, side="left")
+        hi = self._timestamps.searchsorted(end, side="left")
         sub = TimeSeries(
             name=self.name, tags=dict(self.tags), duplicate_policy=self.duplicate_policy
         )
-        sub._timestamps = self._timestamps[lo:hi]
-        sub._values = self._values[lo:hi]
+        sub._timestamps = FloatColumn(self._timestamps.view(lo, hi))
+        sub._values = FloatColumn(self._values.view(lo, hi))
         return sub
 
     def values_between(self, start: float, end: float) -> np.ndarray:
-        """Values whose timestamps fall in ``[start, end)``."""
-        lo = bisect.bisect_left(self._timestamps, start)
-        hi = bisect.bisect_left(self._timestamps, end)
-        return np.asarray(self._values[lo:hi], dtype=float)
+        """Values whose timestamps fall in ``[start, end)``.
+
+        Zero-copy read-only view; consume immediately (see
+        :mod:`repro.tsdb.columnar` for staleness rules) or copy.
+        """
+        lo = self._timestamps.searchsorted(start, side="left")
+        hi = self._timestamps.searchsorted(end, side="left")
+        return self._values.view(lo, hi)
 
     def timestamps_between(self, start: float, end: float) -> np.ndarray:
-        """Timestamps falling in ``[start, end)`` (for coverage checks)."""
-        lo = bisect.bisect_left(self._timestamps, start)
-        hi = bisect.bisect_left(self._timestamps, end)
-        return np.asarray(self._timestamps[lo:hi], dtype=float)
+        """Timestamps falling in ``[start, end)`` (zero-copy view)."""
+        lo = self._timestamps.searchsorted(start, side="left")
+        hi = self._timestamps.searchsorted(end, side="left")
+        return self._timestamps.view(lo, hi)
 
     def as_mapping(self) -> Mapping[float, float]:
         """The series as a ``{timestamp: value}`` dict (for alignment)."""
-        return dict(zip(self._timestamps, self._values))
+        return dict(zip(self._timestamps.tolist(), self._values.tolist()))
 
     def drop_before(self, cutoff: float) -> int:
-        """Retention: drop points older than ``cutoff``; returns count dropped."""
-        lo = bisect.bisect_left(self._timestamps, cutoff)
-        dropped = lo
+        """Retention: drop points older than ``cutoff``; returns count dropped.
+
+        Compaction allocates fresh buffers (see
+        :class:`~repro.tsdb.columnar.FloatColumn.replace`), so views
+        handed out before retention never observe shifted data.
+        """
+        lo = self._timestamps.searchsorted(cutoff, side="left")
         if lo:
-            del self._timestamps[:lo]
-            del self._values[:lo]
-        return dropped
+            self._timestamps.replace(self._timestamps.view(lo))
+            self._values.replace(self._values.view(lo))
+        return lo

@@ -54,16 +54,23 @@ class WindowSpec:
         return self.historic + self.analysis + self.extended
 
     def view(self, series: TimeSeries, now: float) -> "WindowedView":
-        """Slice ``series`` into the three windows ending at ``now``."""
+        """Slice ``series`` into the three windows ending at ``now``.
+
+        The returned arrays are *snapshots* (bulk copies of the columnar
+        buffers), not live views: a ``WindowedView`` outlives the scan
+        that made it — it rides ``Regression.window`` through dedup,
+        checkpoints and worker round trips — so it must never alias a
+        buffer that a later last-write-wins overwrite could mutate.
+        """
         extended_start = now - self.extended
         analysis_start = extended_start - self.analysis
         historic_start = analysis_start - self.historic
         return WindowedView(
             spec=self,
             now=now,
-            historic=series.values_between(historic_start, analysis_start),
-            analysis=series.values_between(analysis_start, extended_start),
-            extended=series.values_between(extended_start, now),
+            historic=np.array(series.values_between(historic_start, analysis_start)),
+            analysis=np.array(series.values_between(analysis_start, extended_start)),
+            extended=np.array(series.values_between(extended_start, now)),
             historic_start=historic_start,
             analysis_start=analysis_start,
             extended_start=extended_start,
