@@ -153,6 +153,25 @@ def build_parser() -> argparse.ArgumentParser:
         "'type:{json params}'); challengers score every scan but never "
         "alert — tallies land on /detectors",
     )
+    serve.add_argument(
+        "--ingest-csv",
+        default=None,
+        metavar="CSV_PATH",
+        help="stream real data from this CSV (long form "
+        "'name,timestamp,value[,tag...]' or narrow 'timestamp,value') "
+        "through the connector import path instead of the fleet "
+        "simulator; detection windows are fit to the file's span and a "
+        "1%% relative-threshold monitor is registered over the imported "
+        "series",
+    )
+    serve.add_argument(
+        "--webhook",
+        default=None,
+        metavar="URL",
+        help="additionally deliver incident reports to this webhook URL "
+        "(Slack-shaped JSON) through the buffered, retried, deduplicated "
+        "WebhookSink; delivery counters are printed at exit",
+    )
 
     sub.add_parser("presets", help="list Table 1 workload presets")
     return parser
@@ -337,6 +356,110 @@ def _parse_shadow_specs(raw_specs):
     return specs
 
 
+def _make_webhook_sink(args: argparse.Namespace):
+    """Build the optional --webhook sink (None when the flag is absent)."""
+    if not args.webhook:
+        return None
+    from repro.connectors import WebhookSink
+
+    return WebhookSink(args.webhook)
+
+
+def _print_webhook_summary(webhook_sink) -> None:
+    """One-line delivery tally, printed after the sink has been closed."""
+    if webhook_sink is None:
+        return
+    tally = ", ".join(
+        f"{name}={count}" for name, count in sorted(webhook_sink.counters.items())
+    )
+    print()
+    print(f"webhook delivery ({webhook_sink.url}): {tally}")
+
+
+def _serve_demo_csv(args: argparse.Namespace) -> int:
+    """serve-demo --ingest-csv: real data through the connector path."""
+    from repro.config import DetectionConfig
+    from repro.connectors import CsvImporter, ImportStats
+    from repro.tsdb import WindowSpec
+
+    importer = CsvImporter()
+    stats = ImportStats()
+    try:
+        samples = list(importer.iter_samples(args.ingest_csv, stats))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not samples:
+        print("error: no parseable samples in the CSV", file=sys.stderr)
+        return 2
+    first = min(sample.timestamp for sample in samples)
+    last = max(sample.timestamp for sample in samples)
+    span = last - first
+    if span <= 0:
+        print("error: the CSV spans a single timestamp", file=sys.stderr)
+        return 2
+
+    # Fit the detection windows to the file's span (the ``detect``
+    # subcommand's --fit-windows idea); imported series carry arbitrary
+    # units, so the threshold is relative — 1%, loose enough to clear
+    # collection noise yet tight enough for simulator-scale shifts.
+    config = DetectionConfig(
+        name="csv-import",
+        threshold=0.01,
+        relative_threshold=True,
+        rerun_interval=max(args.interval, span / 10),
+        windows=WindowSpec(
+            historic=span * 0.5, analysis=span * 0.3, extended=span * 0.1
+        ),
+        long_term=False,
+    )
+
+    sink = CollectingSink()
+    sinks = [sink]
+    webhook_sink = _make_webhook_sink(args)
+    if webhook_sink is not None:
+        sinks.append(webhook_sink)
+    service = StreamingDetectionService(
+        n_shards=args.shards,
+        workers=args.workers,
+        sinks=sinks,
+        queue_capacity=args.capacity,
+        backpressure=BackpressurePolicy(args.policy),
+        batch_size=args.batch_size,
+    )
+    if webhook_sink is not None:
+        webhook_sink.metrics = service.metrics
+    service.register_monitor(
+        "csv-import", config, series_filter={"source": importer.source_name}
+    )
+
+    for sample in samples:
+        stats._observe(sample, bool(service.ingest_sample(sample)))
+    service.flush()
+    # Walk detection through the imported span in ten steps so the
+    # monitor scans on its rerun cadence instead of once in hindsight.
+    steps = 10
+    for index in range(1, steps + 1):
+        service.advance_to(first + span * index / steps + args.interval)
+
+    service_stats = service.stats()
+    print(f"imported {stats.offered} samples from {args.ingest_csv} "
+          f"({stats.accepted} accepted, {stats.bad_rows} malformed rows "
+          f"skipped)")
+    print(f"{stats.series} series spanning t=[{first:.0f}, {last:.0f}] "
+          f"through {args.shards} shard(s), {args.workers} worker(s)")
+    print()
+    print(service_stats.render())
+    print()
+    print(f"incident reports delivered: {len(sink.reports)}")
+    for report in sink.reports:
+        print(f"  - {report.metric_id} ({report.relative_magnitude:+.1%} "
+              f"at t={report.change_time:.0f})")
+    service.close()
+    _print_webhook_summary(webhook_sink)
+    return 0
+
+
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
@@ -347,6 +470,8 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if args.capacity < 1 or args.batch_size < 1:
         print("error: --capacity and --batch-size must be positive", file=sys.stderr)
         return 2
+    if args.ingest_csv:
+        return _serve_demo_csv(args)
     preset = build_preset(args.preset, seed=args.seed)
     graph = preset.service.call_graph
     probabilities = graph.inclusion_probabilities()
@@ -415,16 +540,22 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             return 2
 
     sink = CollectingSink()
+    sinks = [sink]
+    webhook_sink = _make_webhook_sink(args)
+    if webhook_sink is not None:
+        sinks.append(webhook_sink)
     service = StreamingDetectionService(
         n_shards=args.shards,
         workers=args.workers,
-        sinks=[sink],
+        sinks=sinks,
         queue_capacity=args.capacity,
         backpressure=BackpressurePolicy(args.policy),
         batch_size=args.batch_size,
         fault_injector=injector,
         advance_deadline=5.0 if injector is not None else None,
     )
+    if webhook_sink is not None:
+        webhook_sink.metrics = service.metrics
     service.register_monitor(
         args.preset, config, series_filter={"metric": "gcpu"},
         shadow=shadow_specs,
@@ -550,6 +681,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         print(service.funnel_trace().render())
         obs_server.stop()
     service.close()
+    _print_webhook_summary(webhook_sink)
     return 0
 
 

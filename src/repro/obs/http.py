@@ -72,6 +72,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        # Whether a response line/headers already went down the wire.
+        # If a renderer raises *after* that point, sending a second
+        # response would interleave two HTTP messages on one keep-alive
+        # connection and desync every request behind it — the only safe
+        # recovery is to drop the connection.
+        self._response_started = False
         try:
             if path == "/metrics":
                 self._send_text(200, self.server.service.render_metrics(),
@@ -98,9 +104,17 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
-        except Exception as error:  # pragma: no cover - defensive surface
+        except Exception as error:
             _log.exception("observability endpoint failed", path=path)
-            self._send_json(500, {"error": str(error)})
+            if self._response_started:
+                # Headers (and possibly part of a body) are already out:
+                # close the connection instead of double-responding.
+                self.close_connection = True
+            else:
+                try:
+                    self._send_json(500, {"error": str(error)})
+                except Exception:  # pragma: no cover - client went away
+                    self.close_connection = True
 
     def _quality_payload(self) -> dict:
         service = self.server.service
@@ -129,6 +143,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, body: str, content_type: str) -> None:
         payload = body.encode("utf-8")
+        self._response_started = True
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))

@@ -324,7 +324,21 @@ class DetectionScheduler:
                     series=regression.context.metric_id, alert=alert
                 ):
                     for sink in self.sinks:
-                        sink.deliver(report)
+                        # One raising sink must not abort delivery to
+                        # the rest (or the advance that produced the
+                        # report) — same isolation contract as the
+                        # streaming service's _deliver_to_sinks.
+                        try:
+                            sink.deliver(report)
+                        except Exception as error:
+                            if self.metrics is not None:
+                                self.metrics.inc("scheduler.sink_errors")
+                            _log.exception(
+                                "sink delivery failed",
+                                sink=type(sink).__name__,
+                                monitor=outcome.monitor,
+                                error=str(error),
+                            )
                     if self.sinks:
                         _log.info(
                             "incident delivered",

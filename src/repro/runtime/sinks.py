@@ -3,6 +3,18 @@
 A sink receives the :class:`~repro.reporting.report.IncidentReport` for
 every regression the scheduler's monitors report — the integration point
 for ticket filing, paging, or test collection.
+
+Delivery contract: a sink's :meth:`~IncidentSink.deliver` may raise (a
+full disk, a dead endpoint); the *caller* is responsible for isolating
+that failure so one broken sink never blocks the others or the scan
+loop that produced the report.  The streaming service wraps every sink
+call and counts failures under ``service.sinks.errors`` — see
+:meth:`repro.service.service.StreamingDetectionService`.  Sinks that
+hold resources (file handles, delivery threads) release them in
+:meth:`~IncidentSink.close`, which the service calls on shutdown.
+
+For a network sink with buffered, retried delivery see
+:class:`repro.connectors.WebhookSink`.
 """
 
 from __future__ import annotations
@@ -24,6 +36,9 @@ class IncidentSink(abc.ABC):
     @abc.abstractmethod
     def deliver(self, report: IncidentReport) -> None:
         """Handle one report (file a ticket, page, record ...)."""
+
+    def close(self) -> None:
+        """Release held resources (handles, threads).  Default: no-op."""
 
 
 class CollectingSink(IncidentSink):
@@ -55,6 +70,15 @@ class JsonLinesSink(IncidentSink):
     The durable integration format: downstream ticketing/alerting
     systems tail the file.  Writes are line-atomic under a lock so the
     scheduler's parallel scans can share one sink.
+
+    In path mode the file is opened once, on first delivery, and the
+    handle is held across reports (reopening per report costs a
+    path-resolution and fd churn on every alert and hides permission
+    errors until delivery time).  A failed write closes the handle so
+    the next delivery retries from a fresh open — after an ENOSPC or a
+    rotated file, recovery needs a new fd, not the poisoned one.  The
+    error still propagates: routing it is the caller's job (the service
+    counts it under ``service.sinks.errors`` and carries on).
     """
 
     def __init__(self, destination: Union[str, IO[str]]) -> None:
@@ -62,17 +86,38 @@ class JsonLinesSink(IncidentSink):
         if isinstance(destination, str):
             self._path: Optional[str] = destination
             self._stream: Optional[IO[str]] = None
+            self._owns_stream = True
         else:
             self._path = None
             self._stream = destination
+            self._owns_stream = False
 
     def deliver(self, report: IncidentReport) -> None:
         line = json.dumps(report.to_dict(), sort_keys=True)
         with self._lock:
-            if self._stream is not None:
+            if self._stream is None:
+                assert self._path is not None
+                self._stream = open(self._path, "a", encoding="utf-8")
+            try:
                 self._stream.write(line + "\n")
                 self._stream.flush()
-            else:
-                assert self._path is not None
-                with open(self._path, "a", encoding="utf-8") as sink:
-                    sink.write(line + "\n")
+            except Exception:
+                if self._owns_stream:
+                    self._drop_stream()
+                raise
+
+    def _drop_stream(self) -> None:
+        """Close and forget the handle (lock held); best-effort close."""
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            try:
+                stream.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Close the held file handle (path mode; streams stay open —
+        the caller owns them)."""
+        with self._lock:
+            if self._owns_stream:
+                self._drop_stream()

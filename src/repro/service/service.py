@@ -820,8 +820,7 @@ class StreamingDetectionService:
                         )
                         continue
                     report = build_report(regression)
-                    for sink in self.sinks:
-                        sink.deliver(report)
+                    self._deliver_to_sinks(report)
                     delivered.append(report)
                     self._reported += 1
                     self.metrics.inc("service.reports.delivered")
@@ -835,6 +834,38 @@ class StreamingDetectionService:
         self.metrics.set_gauge(
             f"service.shard{shard.shard_id}.series", len(shard.database)
         )
+
+    def _deliver_to_sinks(self, report: IncidentReport) -> None:
+        """Deliver one report to every sink, isolating per-sink faults.
+
+        A raising sink (full disk, dead endpoint, bad plugin) must never
+        abort the report loop mid-advance: the remaining sinks still get
+        this report, every later report in the scan still flows, and the
+        ledger/`service.reports.delivered` stay in sync with what was
+        actually admitted.  Failures are counted per delivery attempt
+        under ``service.sinks.errors`` and recorded on the event log, so
+        a chronically broken sink is visible on ``/metrics`` and
+        ``/faults`` instead of silently eating alerts.
+        """
+        for sink in self.sinks:
+            try:
+                sink.deliver(report)
+            except Exception as error:
+                self.metrics.inc("service.sinks.errors")
+                self.events.record(
+                    "sink_error",
+                    sink=type(sink).__name__,
+                    metric=report.metric_id,
+                    error=str(error),
+                )
+                _log.exception(
+                    "sink delivery failed",
+                    sink=type(sink).__name__,
+                    metric=report.metric_id,
+                    error=str(error),
+                )
+            else:
+                self.metrics.inc("service.sinks.delivered")
 
     def _ledger_admit(self, regression: Regression) -> bool:
         """Record-and-admit unless already reported within tolerance."""
@@ -900,11 +931,26 @@ class StreamingDetectionService:
         self.flush()
 
     def close(self) -> None:
-        """Release resources: flusher threads and the worker pool."""
+        """Release resources: flushers, the worker pool, and the sinks.
+
+        Sinks close last (and each in isolation) so buffered deliveries
+        — a webhook queue draining, a held file handle — get their
+        flush-on-close after the final advance's reports went out.
+        """
         if self._flushers:
             self.stop()
         if self._executor is not None:
             self._executor.close()
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as error:
+                self.metrics.inc("service.sinks.errors")
+                _log.exception(
+                    "sink close failed",
+                    sink=type(sink).__name__,
+                    error=str(error),
+                )
 
     def __enter__(self) -> "StreamingDetectionService":
         return self

@@ -235,3 +235,82 @@ class TestEndToEndAcceptance:
             assert payload["reported"] == len(sink.reports) == 1
         finally:
             service.close()
+
+
+class TestHandlerErrorPaths:
+    """Regression tests for the catch-all error handler.
+
+    The bug: a renderer raising *after* headers were sent used to make
+    the catch-all answer again with a 500 — two responses on one
+    keep-alive connection, desynchronizing every request behind it.
+    """
+
+    def test_error_before_headers_answers_500_and_survives(self):
+        service, _sink = _service(n_shards=1)
+        try:
+            def boom():
+                raise RuntimeError("renderer exploded")
+
+            service.status_snapshot = boom
+            with ObservabilityServer(service) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(server.url + "/status", timeout=5.0)
+                assert excinfo.value.code == 500
+                assert "renderer exploded" in json.loads(
+                    excinfo.value.read()
+                )["error"]
+                # The server is still healthy for the next request.
+                with urllib.request.urlopen(
+                    server.url + "/healthz", timeout=5.0
+                ) as response:
+                    assert response.status == 200
+        finally:
+            service.close()
+
+    def test_error_after_headers_closes_instead_of_double_responding(
+        self, monkeypatch
+    ):
+        import socket
+
+        from repro.obs import http as obs_http
+
+        def partial_then_raise(self):
+            # Headers and a full body go out the wire...
+            self._send_text(200, "partial", "text/plain")
+            # ...and only then does the renderer fail.
+            raise RuntimeError("late failure")
+
+        monkeypatch.setattr(
+            obs_http._Handler, "_quality_payload", partial_then_raise
+        )
+        service, _sink = _service(n_shards=1)
+        try:
+            with ObservabilityServer(service) as server:
+                connection = socket.create_connection(
+                    (server.host, server.port), timeout=5.0
+                )
+                try:
+                    connection.sendall(
+                        b"GET /quality HTTP/1.1\r\nHost: t\r\n"
+                        b"Connection: keep-alive\r\n\r\n"
+                    )
+                    connection.settimeout(5.0)
+                    received = b""
+                    while True:
+                        try:
+                            chunk = connection.recv(4096)
+                        except socket.timeout:  # pragma: no cover - slack
+                            break
+                        if not chunk:
+                            break  # server closed the connection: good
+                        received += chunk
+                finally:
+                    connection.close()
+            # Exactly one response went out — the 200 that was already
+            # in flight — and the connection was closed, not answered a
+            # second time with a 500.
+            assert received.count(b"HTTP/1.1") == 1
+            assert received.startswith(b"HTTP/1.1 200")
+            assert b"500" not in received.split(b"\r\n", 1)[0]
+        finally:
+            service.close()

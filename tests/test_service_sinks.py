@@ -1,0 +1,187 @@
+"""Per-sink fault isolation in report delivery (service and scheduler).
+
+The regression these tests pin down: sink delivery used to run inline
+with no isolation, so one raising sink aborted the delivery loop —
+losing the report for every later sink — and a sufficiently broken sink
+could fail the shard advance itself.  Delivery must be best-effort per
+sink: a bad sink is counted and logged, every other sink still gets the
+report, and the advance returns normally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DetectionConfig
+from repro.reporting import build_report
+from repro.runtime import CollectingSink, DetectionScheduler, JsonLinesSink
+from repro.service import BackpressurePolicy, Sample, StreamingDetectionService
+from repro.tsdb import TimeSeriesDatabase, WindowSpec
+
+from conftest import fill_series
+from test_reporting import make_regression
+
+N_SERIES = 8
+INTERVAL = 60.0
+TICKS = 1000
+
+
+class RaisingSink:
+    """Fails every delivery; optionally also fails close()."""
+
+    def __init__(self, fail_close=False):
+        self.fail_close = fail_close
+        self.attempts = 0
+        self.closed = False
+
+    def deliver(self, report):
+        self.attempts += 1
+        raise RuntimeError("sink exploded")
+
+    def close(self):
+        self.closed = True
+        if self.fail_close:
+            raise RuntimeError("close exploded")
+
+
+def scan_config():
+    return DetectionConfig(
+        name="sinks-test", threshold=0.00005, rerun_interval=6_000.0,
+        windows=WindowSpec(36_000.0, 12_000.0, 6_000.0), long_term=False,
+    )
+
+
+def run_service(sinks):
+    """One deterministic run with a planted regression; returns
+    (delivered report keys, the service's final metrics counters)."""
+    service = StreamingDetectionService(
+        n_shards=2, sinks=sinks, queue_capacity=1 << 16,
+        backpressure=BackpressurePolicy.BLOCK, batch_size=1024,
+    )
+    service.register_monitor(
+        "gcpu", scan_config(), series_filter={"metric": "gcpu"}
+    )
+    rng = np.random.default_rng(17)
+    for index in range(N_SERIES):
+        values = rng.normal(0.001, 0.00002, TICKS)
+        if index == 2:
+            values[700:] += 0.0004  # the planted regression
+        service.ingest_many(
+            [
+                Sample(f"svc.sub{index}.gcpu", tick * INTERVAL,
+                       float(values[tick]), {"metric": "gcpu"})
+                for tick in range(TICKS)
+            ]
+        )
+    reports = service.advance_to(TICKS * INTERVAL)
+    counters = service.metrics.snapshot()["counters"]
+    service.close()
+    keys = [(r.metric_id, r.change_time) for r in reports]
+    return keys, counters
+
+
+class TestServiceSinkIsolation:
+    def test_raising_sink_does_not_change_delivery(self):
+        """The failing-sink run delivers the same report set."""
+        baseline_keys, _ = run_service([CollectingSink()])
+        assert baseline_keys  # the planted regression is caught
+
+        collecting = CollectingSink()
+        raising = RaisingSink()
+        keys, counters = run_service([raising, collecting])
+
+        assert keys == baseline_keys
+        assert [(r.metric_id, r.change_time) for r in collecting.reports] \
+            == baseline_keys
+        assert raising.attempts == len(baseline_keys)
+        assert counters["service.sinks.errors"] == len(baseline_keys)
+        assert counters["service.sinks.delivered"] == len(baseline_keys)
+
+    def test_sink_order_does_not_matter(self):
+        collecting = CollectingSink()
+        keys, counters = run_service([collecting, RaisingSink()])
+        assert [(r.metric_id, r.change_time) for r in collecting.reports] \
+            == keys
+        assert counters["service.sinks.errors"] >= 1
+
+    def test_sink_error_recorded_on_event_log(self):
+        service = StreamingDetectionService(
+            n_shards=1, sinks=[RaisingSink()], queue_capacity=64,
+            backpressure=BackpressurePolicy.BLOCK, batch_size=8,
+        )
+        service._deliver_to_sinks(build_report(make_regression()))
+        events = service.events.events("sink_error")
+        assert len(events) == 1
+        assert events[0].fields["sink"] == "RaisingSink"
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.sinks.errors"] == 1
+        service.close()
+
+    def test_close_isolates_sink_failures(self):
+        bad = RaisingSink(fail_close=True)
+        good = RaisingSink(fail_close=False)
+        service = StreamingDetectionService(
+            n_shards=1, sinks=[bad, good], queue_capacity=64,
+            backpressure=BackpressurePolicy.BLOCK, batch_size=8,
+        )
+        service.close()  # must not raise
+        assert bad.closed and good.closed
+
+
+class TestSchedulerSinkIsolation:
+    def test_raising_sink_does_not_starve_later_sinks(self, rng, tmp_path):
+        db = TimeSeriesDatabase()
+        values = rng.normal(0.001, 0.00002, 1100)
+        values[700:] += 0.0002
+        fill_series(db, "svc.sub.gcpu", values,
+                    tags={"service": "svc", "subroutine": "sub",
+                          "metric": "gcpu"})
+        path = tmp_path / "incidents.jsonl"
+        raising = RaisingSink()
+        scheduler = DetectionScheduler(
+            db, sinks=[raising, JsonLinesSink(str(path))]
+        )
+        scheduler.register("svc", scan_config())
+        scheduler.advance_to(66_000.0)
+        assert raising.attempts == 1
+        # The sink after the raising one still received the report.
+        assert len(path.read_text().strip().splitlines()) == 1
+
+
+class TestJsonLinesSinkHandle:
+    def test_path_mode_holds_one_handle(self, tmp_path):
+        path = tmp_path / "incidents.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.deliver(build_report(make_regression()))
+        first_stream = sink._stream
+        assert first_stream is not None
+        sink.deliver(build_report(make_regression()))
+        assert sink._stream is first_stream  # no reopen per report
+        sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_write_failure_reopens_on_next_delivery(self, tmp_path):
+        path = tmp_path / "incidents.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.deliver(build_report(make_regression()))
+        sink._stream.close()  # simulate the fd dying under the sink
+        with pytest.raises(ValueError):
+            sink.deliver(build_report(make_regression()))
+        # The dead handle was dropped; delivery recovers on a fresh one.
+        sink.deliver(build_report(make_regression()))
+        sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_close_leaves_caller_owned_streams_open(self):
+        import io
+
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.deliver(build_report(make_regression()))
+        sink.close()
+        assert not stream.closed  # caller owns it, caller closes it
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonLinesSink(str(tmp_path / "x.jsonl"))
+        sink.deliver(build_report(make_regression()))
+        sink.close()
+        sink.close()
